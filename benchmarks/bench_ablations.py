@@ -1,0 +1,151 @@
+"""Ablations of the design choices DESIGN.md calls out:
+
+* merge-based buffer logging (§4.3) on/off -- buffer occupancy and disk IOs,
+* log-buffer flush threshold -- IO batching vs backlog,
+* payload_scale invariance -- counters must not depend on physical scaling,
+* FSMem inline vs deferred GC,
+* XOR-parity-in-DRAM vs logged parity -- the §3.1 single-failure argument.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.bench.runner import run_workload
+from repro.core.config import StoreConfig
+from repro.core.logecmem import LogECMem
+from repro.baselines import make_store
+from repro.workloads import WorkloadSpec
+
+SPEC = dict(n_objects=800, n_requests=800, seed=42)
+
+
+def _spec(ratio="50:50"):
+    return WorkloadSpec.read_update(ratio, **SPEC)
+
+
+def test_ablation_merge_buffer(benchmark, show):
+    """§4.3: merging in the buffer cuts both buffered bytes and disk IOs."""
+
+    def run():
+        out = {}
+        for merge in (False, True):
+            store = LogECMem(StoreConfig(k=6, r=3, scheme="pl", merge_buffer=merge))
+            result = run_workload(store, _spec())
+            merges = sum(n.buffer.merges for n in store.cluster.log_nodes.values())
+            out[merge] = (result.disk_io_count, merges)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        ["merge-based buffer logging", "disk IOs", "buffer merges"],
+        [["off", out[False][0], out[False][1]], ["on", out[True][0], out[True][1]]],
+        title="Ablation: merge-based buffer logging (§4.3)",
+    ))
+    assert out[True][1] > 0
+    assert out[False][1] == 0
+    assert out[True][0] <= out[False][0]
+
+
+def test_ablation_flush_threshold(benchmark, show):
+    """Smaller flush thresholds mean more, smaller flush IOs."""
+    def run():
+        ios = {}
+        for threshold in (64 << 10, 512 << 10):
+            cfg = StoreConfig(k=6, r=3, scheme="pl")
+            cfg.profile.log_flush_threshold_bytes = threshold
+            cfg.profile.log_buffer_bytes = 2 * threshold
+            store = LogECMem(cfg)
+            result = run_workload(store, _spec())
+            ios[threshold] = result.disk_io_count
+        return ios
+
+    ios = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        ["flush threshold", "disk IOs"],
+        [[f"{t >> 10} KiB", n] for t, n in ios.items()],
+        title="Ablation: log-buffer flush threshold",
+    ))
+    assert ios[64 << 10] > ios[512 << 10]
+
+
+def test_ablation_payload_scale_invariance(benchmark, show):
+    """Counters and latencies are functions of logical bytes only."""
+    def run():
+        results = {}
+        for scale in (1 / 32, 1 / 8):
+            store = LogECMem(StoreConfig(k=6, r=3, payload_scale=scale))
+            result = run_workload(store, _spec())
+            results[scale] = (
+                result.mean_latency_us("update"),
+                result.memory_bytes,
+                result.counters["net_bytes"],
+                result.disk_io_count,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    a, b = results[1 / 32], results[1 / 8]
+    show(format_table(
+        ["payload_scale", "update us", "memory B", "net B", "disk IOs"],
+        [["1/32", f"{a[0]:.1f}", a[1], int(a[2]), a[3]],
+         ["1/8", f"{b[0]:.1f}", b[1], int(b[2]), b[3]]],
+        title="Ablation: physical payload scaling leaves accounting unchanged",
+    ))
+    assert a[0] == pytest.approx(b[0], rel=1e-6)
+    assert a[1] == b[1]
+    assert a[2] == b[2]
+    assert a[3] == b[3]
+
+
+def test_ablation_fsmem_gc_policy(benchmark, show):
+    """Inline GC trades higher update tails for bounded stale space."""
+    def run():
+        deferred = make_store("fsmem", StoreConfig(k=6, r=3))
+        res_deferred = run_workload(deferred, _spec())
+        inline = make_store("fsmem", StoreConfig(k=6, r=3, fsmem_gc_stale_threshold=32))
+        res_inline = run_workload(inline, _spec())
+        return deferred, res_deferred, inline, res_inline
+
+    deferred, res_deferred, inline, res_inline = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    show(format_table(
+        ["GC policy", "update us (amortised)", "GC rounds", "stale B at end"],
+        [
+            ["deferred", f"{res_deferred.mean_latency_us('update'):.0f}",
+             deferred.gc_rounds, deferred.stale_logical_bytes],
+            [f"inline@32", f"{res_inline.mean_latency_us('update'):.0f}",
+             inline.gc_rounds, inline.stale_logical_bytes],
+        ],
+        title="Ablation: FSMem GC policy",
+    ))
+    assert inline.gc_rounds > deferred.gc_rounds
+
+
+def test_ablation_xor_parity_in_dram(benchmark, show):
+    """§3.1/§3.3: single-failure repair from DRAM (XOR) vs from a log node.
+
+    The XOR fast path never touches disk; forcing the same read through a
+    logged parity (as a pure-parity-logging design would) is measurably
+    slower, which is HybridPL's reason to keep one parity chunk in DRAM."""
+    def run():
+        store = LogECMem(StoreConfig(k=6, r=3))
+        run_workload(store, _spec())
+        key = next(iter(store.object_index.keys()))
+        dram_path = store.degraded_read(key).latency_s
+        # force the multi-failure path by excluding the XOR parity too
+        loc = store.object_index.lookup(key)
+        rec = store.stripe_index.get(loc.stripe_id)
+        store.cluster.kill(rec.chunk_nodes[loc.seq_no])
+        store.cluster.kill(rec.xor_parity_node())
+        log_path = store.read(key).latency_s
+        return dram_path, log_path
+
+    dram_path, log_path = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        ["repair path", "latency us"],
+        [["k-1 data + XOR parity (DRAM)", f"{dram_path * 1e6:.0f}"],
+         ["via logged parity (disk)", f"{log_path * 1e6:.0f}"]],
+        title="Ablation: DRAM XOR parity vs logged parity for single repair",
+    ))
+    assert log_path > dram_path

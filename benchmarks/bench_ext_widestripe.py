@@ -1,0 +1,38 @@
+"""Extension: the §2.2.1 wide-stripe argument, quantified.
+
+Per-update chunk transfers of every update scheme as k grows (r = 4,
+update-light m = 1): delta-based schemes are k-invariant, full-stripe GC
+traffic is linear in k, direct reconstruction is linear too.  This is the
+analytic backbone behind Figure 13 / Table 3's large-k band."""
+
+from repro.analysis import format_table
+from repro.analysis.transfers import sweep_k
+
+KS = [6, 10, 12, 15, 16, 32, 64, 128]
+SCHEMES = ["direct", "in-place", "full-stripe", "parity-logging", "hybrid-pl"]
+
+
+def _run():
+    return sweep_k(KS, r=4, new_chunks_per_stripe=1)
+
+
+def test_ext_widestripe_transfers(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    def total(k, scheme):
+        return next(r["total"] for r in rows if r["k"] == k and r["scheme"] == scheme)
+
+    table = [
+        [scheme] + [f"{total(k, scheme):.1f}" for k in KS] for scheme in SCHEMES
+    ]
+    show(format_table(
+        ["scheme"] + [f"k={k}" for k in KS], table,
+        title="Wide stripes (§2.2.1): chunk transfers per update, r=4, m=1",
+    ))
+
+    for scheme in ("in-place", "parity-logging", "hybrid-pl"):
+        assert total(6, scheme) == total(128, scheme)  # k-invariant
+    assert total(128, "full-stripe") > 10 * total(128, "hybrid-pl")
+    assert total(128, "direct") > 10 * total(128, "hybrid-pl")
+    # HybridPL reads the fewest chunks of the delta-based schemes
+    assert total(6, "hybrid-pl") < total(6, "in-place")

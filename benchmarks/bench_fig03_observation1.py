@@ -1,0 +1,50 @@
+"""Figure 3 (Observation 1): number of updated stripes vs. number of new
+data chunks per stripe, for the paper's four codes and four read:update
+ratios.  Trace-driven over the same Zipfian request stream the stores see."""
+
+from repro.analysis import format_table, stripe_update_histogram
+from repro.workloads import WorkloadSpec
+
+CODES = [(6, 3), (10, 4), (12, 4), (15, 3)]
+RATIOS = ["95:5", "80:20", "70:30", "50:50"]
+# the trace analysis is vectorised, so this one runs at the paper's EXACT
+# scale: one million objects, one million requests
+N_OBJECTS = 1_000_000
+N_REQUESTS = 1_000_000
+
+
+def _figure3():
+    out = {}
+    for k, r in CODES:
+        for ratio in RATIOS:
+            spec = WorkloadSpec.read_update(
+                ratio, n_objects=N_OBJECTS, n_requests=N_REQUESTS, seed=42
+            )
+            out[(k, r, ratio)] = stripe_update_histogram(k, spec)
+    return out
+
+
+def test_fig03_observation1(benchmark, show):
+    hists = benchmark.pedantic(_figure3, rounds=1, iterations=1)
+    for k, r in CODES:
+        rows = []
+        max_bucket = max(max(h) for key, h in hists.items() if key[0] == k)
+        for ratio in RATIOS:
+            h = hists[(k, r, ratio)]
+            rows.append([ratio] + [h.get(b, 0) for b in range(1, max_bucket + 1)])
+        show(
+            format_table(
+                ["r:u"] + [str(b) for b in range(1, max_bucket + 1)],
+                rows,
+                title=f"Figure 3: updated stripes by # new chunks, ({k},{r}) code",
+            )
+        )
+    # the paper's observation: update-light -> single new chunk dominates;
+    # update-heavy -> mass shifts to multi-chunk stripes
+    for k, r in CODES:
+        light = hists[(k, r, "95:5")]
+        heavy = hists[(k, r, "50:50")]
+        assert light[1] / sum(light.values()) > 0.75
+        heavy_multi = 1 - heavy.get(1, 0) / sum(heavy.values())
+        light_multi = 1 - light.get(1, 0) / sum(light.values())
+        assert heavy_multi > light_multi

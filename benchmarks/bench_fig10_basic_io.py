@@ -1,0 +1,73 @@
+"""Figure 10 (Experiment 1): read/write/degraded-read latency and throughput
+for Vanilla, 5-way replication, IPMem, FSMem and LogECMem under the (10,4)
+code, value sizes 1/4/16 KiB, read:write 95:5 and 50:50."""
+
+import math
+
+from repro.analysis import format_table
+from repro.bench.experiments import experiment1
+
+N_OBJECTS = 1500
+N_REQUESTS = 1500
+STORES = ("vanilla", "replication", "ipmem", "fsmem", "logecmem")
+
+
+def _run():
+    return experiment1(
+        n_objects=N_OBJECTS,
+        n_requests=N_REQUESTS,
+        value_sizes=(1024, 4096, 16384),
+        ratios=("95:5", "50:50"),
+        degraded_samples=60,
+    )
+
+
+def _panel(rows, metric, ratio, title, show):
+    table = []
+    for store in STORES:
+        line = [store]
+        for size in (1024, 4096, 16384):
+            row = next(
+                r for r in rows
+                if r["store"] == store and r["value_size"] == size and r["ratio"] == ratio
+            )
+            v = row[metric]
+            line.append("n/a" if isinstance(v, float) and math.isnan(v) else f"{v:.0f}")
+        table.append(line)
+    show(format_table(["store", "1KiB", "4KiB", "16KiB"], table, title=title))
+
+
+def test_fig10_basic_io(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for ratio in ("95:5", "50:50"):
+        _panel(rows, "read_latency_us", ratio, f"Fig 10: read latency us (r:w={ratio})", show)
+        _panel(rows, "write_latency_us", ratio, f"Fig 10: write latency us (r:w={ratio})", show)
+        _panel(rows, "throughput_kops", ratio, f"Fig 10: throughput Kops/s (r:w={ratio})", show)
+        _panel(rows, "degraded_latency_us", ratio, f"Fig 10: degraded read us (r:w={ratio})", show)
+
+    def row(store, size, ratio):
+        return next(
+            r for r in rows
+            if r["store"] == store and r["value_size"] == size and r["ratio"] == ratio
+        )
+
+    for ratio in ("95:5", "50:50"):
+        for size in (1024, 4096, 16384):
+            # reads: all systems similar (Fig 10 a,b)
+            reads = [row(s, size, ratio)["read_latency_us"] for s in STORES]
+            assert max(reads) / min(reads) < 1.2
+            # writes: replication highest, vanilla lowest (Fig 10 c,d)
+            assert row("replication", size, ratio)["write_latency_us"] > row(
+                "logecmem", size, ratio
+            )["write_latency_us"]
+            assert row("vanilla", size, ratio)["write_latency_us"] <= min(
+                row(s, size, ratio)["write_latency_us"] for s in STORES if s != "vanilla"
+            )
+            # degraded: replication cheapest; EC systems within 20% of each other
+            ec = [row(s, size, ratio)["degraded_latency_us"] for s in ("ipmem", "fsmem", "logecmem")]
+            assert row("replication", size, ratio)["degraded_latency_us"] < min(ec)
+            assert max(ec) / min(ec) < 1.25
+            # throughput: vanilla at least ties everyone (Fig 10 e,f)
+            assert row("vanilla", size, ratio)["throughput_kops"] >= max(
+                row(s, size, ratio)["throughput_kops"] for s in STORES
+            ) * 0.999

@@ -1,0 +1,63 @@
+"""Figure 11 (Experiment 2): update latency vs read:update ratio for
+replication, IPMem, FSMem and LogECMem under the paper's four codes."""
+
+from repro.analysis import format_table
+from repro.bench.experiments import PAPER_CODES, RU_RATIOS, update_memory_sweep
+
+N_OBJECTS = 1500
+N_REQUESTS = 1500
+STORES = ("replication", "ipmem", "fsmem", "logecmem")
+
+
+def _run():
+    return update_memory_sweep(
+        PAPER_CODES, ratios=tuple(RU_RATIOS), n_objects=N_OBJECTS, n_requests=N_REQUESTS
+    )
+
+
+def _get(rows, store, k, ratio, field="update_latency_us"):
+    return next(
+        r[field] for r in rows if r["store"] == store and r["k"] == k and r["ratio"] == ratio
+    )
+
+
+def test_fig11_update_latency(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for k, r in PAPER_CODES:
+        table = [
+            [store] + [f"{_get(rows, store, k, ratio):.0f}" for ratio in RU_RATIOS]
+            for store in STORES
+        ]
+        show(
+            format_table(
+                ["store"] + RU_RATIOS,
+                table,
+                title=f"Fig 11: update latency us, ({k},{r}) code",
+            )
+        )
+
+    # paper shapes
+    for k, _ in PAPER_CODES:
+        for ratio in RU_RATIOS:
+            # LogECMem always beats IPMem (fewer parity reads: 1 vs r)
+            assert _get(rows, "logecmem", k, ratio) < _get(rows, "ipmem", k, ratio)
+            # replication cheapest
+            assert _get(rows, "replication", k, ratio) < _get(rows, "logecmem", k, ratio)
+        # LogECMem beats FSMem update-light; FSMem wins update-heavy (small k)
+        assert _get(rows, "fsmem", k, "95:5") > _get(rows, "logecmem", k, "95:5")
+        if k <= 10:
+            assert _get(rows, "fsmem", k, "50:50") < _get(rows, "logecmem", k, "50:50")
+
+    # the r=4 codes show a larger LogECMem-vs-IPMem reduction than r=3
+    def reduction(k):
+        ip = _get(rows, "ipmem", k, "70:30")
+        lec = _get(rows, "logecmem", k, "70:30")
+        return (ip - lec) / ip
+
+    assert reduction(10) > reduction(6)
+    show(
+        format_table(
+            ["code", "LogECMem vs IPMem reduction @70:30 (paper: 32.7% r=3, 37.8% r=4)"],
+            [[f"({k},{r})", f"{reduction(k) * 100:.1f}%"] for k, r in PAPER_CODES],
+        )
+    )

@@ -1,0 +1,68 @@
+"""Figure 12 (Experiment 3): memory overhead (GiB at the paper's 1M x 4KiB
+scale) vs read:update ratio for the paper's four codes."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.bench.experiments import PAPER_CODES, RU_RATIOS, update_memory_sweep
+
+N_OBJECTS = 1500
+N_REQUESTS = 1500
+STORES = ("replication", "ipmem", "fsmem", "logecmem")
+
+
+def _run():
+    return update_memory_sweep(
+        PAPER_CODES, ratios=tuple(RU_RATIOS), n_objects=N_OBJECTS, n_requests=N_REQUESTS
+    )
+
+
+def _get(rows, store, k, ratio):
+    return next(
+        r["memory_GiB"]
+        for r in rows
+        if r["store"] == store and r["k"] == k and r["ratio"] == ratio
+    )
+
+
+def test_fig12_memory(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for k, r in PAPER_CODES:
+        table = [
+            [store] + [f"{_get(rows, store, k, ratio):.2f}" for ratio in RU_RATIOS]
+            for store in STORES
+        ]
+        show(
+            format_table(
+                ["store"] + RU_RATIOS,
+                table,
+                title=f"Fig 12: memory overhead GiB, ({k},{r}) code (paper scale)",
+            )
+        )
+
+    # shapes + the paper's headline magnitudes
+    for k, r in PAPER_CODES:
+        for ratio in RU_RATIOS:
+            assert _get(rows, "logecmem", k, ratio) < _get(rows, "ipmem", k, ratio)
+            assert _get(rows, "logecmem", k, ratio) < _get(rows, "fsmem", k, ratio)
+            assert _get(rows, "replication", k, ratio) > _get(rows, "fsmem", k, ratio)
+
+    # (6,3): LogECMem saves ~22.2% vs IPMem and ~49% vs FSMem at 50:50
+    save_ip = 1 - _get(rows, "logecmem", 6, "50:50") / _get(rows, "ipmem", 6, "50:50")
+    save_fs = 1 - _get(rows, "logecmem", 6, "50:50") / _get(rows, "fsmem", 6, "50:50")
+    assert save_ip == pytest.approx(0.222, abs=0.04)
+    assert save_fs == pytest.approx(0.49, abs=0.06)
+    # (12,4): ~79.3% vs 5-way replication
+    save_rep = 1 - _get(rows, "logecmem", 12, "50:50") / _get(rows, "replication", 12, "50:50")
+    assert save_rep == pytest.approx(0.793, abs=0.03)
+    show(
+        format_table(
+            ["comparison", "ours", "paper"],
+            [
+                ["LogECMem vs IPMem (6,3)", f"{save_ip*100:.1f}%", "22.2%"],
+                ["LogECMem vs FSMem (6,3)", f"{save_fs*100:.1f}%", "49.0%"],
+                ["LogECMem vs 5-way (12,4)", f"{save_rep*100:.1f}%", "79.3%"],
+            ],
+            title="Fig 12 headline memory savings",
+        )
+    )

@@ -1,0 +1,58 @@
+"""Figure 13 (Experiment 4): update latency and memory overhead in the
+large-scale setting, k in {16, 32, 64, 128} with r = 4."""
+
+from repro.analysis import format_table
+from repro.bench.experiments import LARGE_CODES, update_memory_sweep
+
+N_OBJECTS = 4096
+N_REQUESTS = 1024
+RATIOS = ("95:5", "80:20", "70:30", "50:50")
+STORES = ("replication", "ipmem", "fsmem", "logecmem")
+
+
+def _run():
+    return update_memory_sweep(
+        LARGE_CODES,
+        ratios=RATIOS,
+        n_objects=N_OBJECTS,
+        n_requests=N_REQUESTS,
+    )
+
+
+def _get(rows, store, k, ratio, field="update_latency_us"):
+    return next(
+        r[field] for r in rows if r["store"] == store and r["k"] == k and r["ratio"] == ratio
+    )
+
+
+def test_fig13_large_scale(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for k, r in LARGE_CODES:
+        lat = [
+            [s] + [f"{_get(rows, s, k, ratio):.0f}" for ratio in RATIOS] for s in STORES
+        ]
+        mem = [
+            [s] + [f"{_get(rows, s, k, ratio, 'memory_GiB'):.2f}" for ratio in RATIOS]
+            for s in STORES
+        ]
+        show(format_table(["store"] + list(RATIOS), lat,
+                          title=f"Fig 13: update latency us, ({k},{r}) code"))
+        show(format_table(["store"] + list(RATIOS), mem,
+                          title=f"Fig 13: memory GiB, ({k},{r}) code (paper scale)"))
+
+    for k, _ in LARGE_CODES:
+        # LogECMem still beats IPMem, stays flat in k
+        for ratio in RATIOS:
+            assert _get(rows, "logecmem", k, ratio) < _get(rows, "ipmem", k, ratio)
+            # lowest memory overhead everywhere (Fig 13 e-h)
+            assert _get(rows, "logecmem", k, ratio, "memory_GiB") == min(
+                _get(rows, s, k, ratio, "memory_GiB") for s in STORES
+            )
+        # FSMem's re-computation cost explodes with k even at 70:30
+        assert _get(rows, "fsmem", k, "70:30") > _get(rows, "logecmem", k, "70:30")
+
+    # LogECMem's latency is k-independent; FSMem's grows with k
+    lec = [_get(rows, "logecmem", k, "95:5") for k, _ in LARGE_CODES]
+    fs = [_get(rows, "fsmem", k, "95:5") for k, _ in LARGE_CODES]
+    assert max(lec) / min(lec) < 1.1
+    assert fs[-1] > 2 * fs[0]

@@ -1,0 +1,76 @@
+"""Figure 14(a)-(b) (Experiment 5): disk IOs during updates for the PL, PLR,
+PLR-m and PLM log schemes -- vs read:update ratio at (10,4), and vs code at
+read:update = 95:5."""
+
+from repro.analysis import format_table
+from repro.bench.experiments import PAPER_CODES, RU_RATIOS, SCHEMES, experiment5
+
+N_OBJECTS = 1500
+N_REQUESTS = 1500
+
+
+def _run():
+    return experiment5(
+        codes=PAPER_CODES,
+        ratios=tuple(RU_RATIOS),
+        n_objects=N_OBJECTS,
+        n_requests=N_REQUESTS,
+    )
+
+
+def test_fig14a_disk_ios(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    def get(scheme, k, ratio):
+        return next(
+            r["disk_ios"]
+            for r in rows
+            if r["scheme"] == scheme and r["k"] == k and r["ratio"] == ratio
+        )
+
+    panel_a = [
+        [scheme] + [str(int(get(scheme, 10, ratio))) for ratio in RU_RATIOS]
+        for scheme in SCHEMES
+    ]
+    show(format_table(["scheme"] + RU_RATIOS, panel_a,
+                      title="Fig 14(a): disk IOs vs r:u ratio, (10,4) code"))
+    panel_b = [
+        [scheme] + [str(int(get(scheme, k, "95:5"))) for k, _ in PAPER_CODES]
+        for scheme in SCHEMES
+    ]
+    show(format_table(["scheme"] + [f"({k},{r})" for k, r in PAPER_CODES], panel_b,
+                      title="Fig 14(b): disk IOs vs code, r:u = 95:5"))
+
+    def space(scheme, k, ratio):
+        return next(
+            r["log_disk_MiB"]
+            for r in rows
+            if r["scheme"] == scheme and r["k"] == k and r["ratio"] == ratio
+        )
+
+    panel_space = [
+        [scheme] + [f"{space(scheme, 10, ratio):.1f}" for ratio in RU_RATIOS]
+        for scheme in SCHEMES
+    ]
+    show(format_table(
+        ["scheme"] + RU_RATIOS, panel_space,
+        title="Extension: log-node disk footprint MiB, (10,4) (PL never compacts)",
+    ))
+    # append-only PL occupies the most disk; merged layouts the least
+    for ratio in RU_RATIOS:
+        assert space("pl", 10, ratio) >= space("plr", 10, ratio)
+        assert space("plm", 10, ratio) <= space("plr", 10, ratio)
+
+    for k, _ in PAPER_CODES:
+        # PL flushes whole buffers: far fewer IOs than any reserved-space scheme
+        assert get("pl", k, "95:5") < 0.2 * get("plm", k, "95:5")
+        # PLM < PLR-m < PLR (merging ever-wider windows)
+        assert get("plm", k, "95:5") <= get("plr-m", k, "95:5") <= get("plr", k, "95:5")
+    for ratio in RU_RATIOS[1:]:
+        assert get("plr", 10, ratio) >= get("plr", 10, "95:5")  # more updates, more IOs
+
+    # paper headline: PLM cuts IOs vs PLR by up to ~24% ((15,3), 95:5)
+    cut = 1 - get("plm", 15, "95:5") / get("plr", 15, "95:5")
+    show(format_table(["metric", "ours", "paper"],
+                      [["PLM vs PLR IO reduction, (15,3) 95:5", f"{cut*100:.1f}%", "23.7%"]]))
+    assert cut > 0.1

@@ -1,0 +1,53 @@
+"""Figure 15 (Experiment 7): node repair throughput (GiB/min) with and
+without log-assist, for the paper's four codes."""
+
+from repro.analysis import format_table
+from repro.bench.experiments import PAPER_CODES, experiment7
+
+N_OBJECTS = 2400
+N_REQUESTS = 1200
+
+
+def _run():
+    return experiment7(codes=PAPER_CODES, n_objects=N_OBJECTS, n_requests=N_REQUESTS)
+
+
+def test_fig15_node_repair(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    def get(k, assist):
+        return next(
+            r for r in rows if r["k"] == k and r["log_assist"] is assist
+        )
+
+    table = []
+    for k, r in PAPER_CODES:
+        plain = get(k, False)["throughput_GiB_per_min"]
+        assisted = get(k, True)["throughput_GiB_per_min"]
+        table.append(
+            [f"({k},{r})", f"{plain:.2f}", f"{assisted:.2f}",
+             f"{(assisted - plain) / plain * 100:.1f}%"]
+        )
+    show(format_table(
+        ["code", "w/o log-assist", "w/ log-assist", "gain (paper: up to 18.2%)"],
+        table,
+        title="Fig 15: node repair throughput GiB/min",
+    ))
+
+    gains = []
+    for k, _ in PAPER_CODES:
+        plain = get(k, False)
+        assisted = get(k, True)
+        assert assisted["throughput_GiB_per_min"] > plain["throughput_GiB_per_min"]
+        assert assisted["assisted_stripes"] > 0
+        gains.append(
+            assisted["throughput_GiB_per_min"] / plain["throughput_GiB_per_min"] - 1
+        )
+    # gain decreases with k ((6,3) first, (15,3) last ... note (10,4),(12,4) between)
+    ks = [k for k, _ in PAPER_CODES]
+    ordered = [g for _, g in sorted(zip(ks, gains))]
+    assert ordered == sorted(ordered, reverse=True)
+    assert 0.10 < max(gains) < 0.30  # paper: up to 18.2%
+    # throughput decreases with k (retrieval of k chunks dominates)
+    plains = [get(k, False)["throughput_GiB_per_min"] for k, _ in PAPER_CODES]
+    assert plains == sorted(plains, reverse=True)

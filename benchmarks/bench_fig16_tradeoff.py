@@ -1,0 +1,67 @@
+"""Figure 16 + Table 3 (§6.4): the memory-overhead / update-latency tradeoff
+across codes and read:update ratios, and the best/low/high rankings."""
+
+from repro.analysis import format_table, table3, tradeoff_points
+from repro.bench.experiments import update_memory_sweep
+
+CODES = [(6, 3), (10, 4), (16, 4), (32, 4)]
+RATIOS = ("95:5", "80:20", "70:30", "50:50")
+# requests == objects, as in the paper: the FSMem-vs-LogECMem crossover
+# depends on the update density per stripe
+N_OBJECTS = 1500
+N_REQUESTS = 1500
+
+
+def _run():
+    return update_memory_sweep(
+        CODES,
+        ratios=RATIOS,
+        stores=("ipmem", "fsmem", "logecmem"),
+        n_objects=N_OBJECTS,
+        n_requests=N_REQUESTS,
+    )
+
+
+def test_fig16_tradeoff(benchmark, show):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    points = tradeoff_points(rows)
+    show(format_table(
+        ["store", "code", "r:u", "memory GiB", "update us"],
+        [
+            [p.store, f"({p.k},{p.r})", p.ratio, f"{p.memory_GiB:.2f}",
+             f"{p.update_latency_us:.0f}"]
+            for p in sorted(points, key=lambda p: (p.k, p.ratio, p.store))
+        ],
+        title="Fig 16: memory overhead vs update latency points",
+    ))
+
+    cells = table3(rows)
+    show(format_table(
+        ["k", "r:u", "IPMem", "FSMem", "LogECMem"],
+        [
+            [str(k), ratio, cell["ipmem"], cell["fsmem"], cell["logecmem"]]
+            for (k, ratio), cell in sorted(cells.items())
+        ],
+        title="Table 3: update latency (memory overhead) rankings",
+    ))
+
+    # paper's Table 3 anchor rows
+    assert cells[(6, "95:5")]["logecmem"] == "best (best)"
+    assert cells[(6, "95:5")]["ipmem"] == "low (low)"
+    assert cells[(6, "95:5")]["fsmem"] == "high (high)"
+    assert cells[(6, "50:50")]["fsmem"].startswith("best")
+    assert cells[(6, "50:50")]["logecmem"].endswith("(best)")
+    # k >= 16, 80:20: LogECMem takes the best latency slot (Table 3's bottom band)
+    assert cells[(16, "80:20")]["logecmem"] == "best (best)"
+    assert cells[(32, "80:20")]["logecmem"] == "best (best)"
+    # LogECMem always owns the best memory column
+    for cell in cells.values():
+        assert cell["logecmem"].endswith("(best)")
+
+    # Figure 16's framing: LogECMem's latencies are flat across ratios per
+    # code, while FSMem's vary widely
+    for k, r in CODES:
+        lec = [p.update_latency_us for p in points if p.store == "logecmem" and p.k == k]
+        fs = [p.update_latency_us for p in points if p.store == "fsmem" and p.k == k]
+        assert max(lec) / min(lec) < 1.1
+        assert max(fs) / min(fs) > 1.5

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the erasure-coding kernels (pytest-benchmark proper).
+
+These are the hot paths every request crosses: GF(2^8) scalar-buffer
+multiplication, stripe encoding, decode-from-survivors, and delta merging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ec.delta import ParityDelta, merge_parity_deltas
+from repro.ec.gf256 import gf_mul_scalar
+from repro.ec.rs import RSCode
+
+CHUNK = 4096
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_gf_mul_scalar_throughput(benchmark, rng):
+    buf = rng.integers(0, 256, size=1 << 20, dtype=np.uint8)  # 1 MiB
+    out = benchmark(gf_mul_scalar, 0x53, buf)
+    assert out.shape == buf.shape
+
+
+@pytest.mark.parametrize("k,r", [(6, 3), (10, 4), (12, 4)])
+def test_rs_encode_throughput(benchmark, rng, k, r):
+    code = RSCode(k, r)
+    data = rng.integers(0, 256, size=(k, CHUNK), dtype=np.uint8)
+    parity = benchmark(code.encode, data)
+    assert parity.shape == (r, CHUNK)
+
+
+def test_rs_xor_parity_fast_path(benchmark, rng):
+    code = RSCode(10, 4)
+    data = rng.integers(0, 256, size=(10, CHUNK), dtype=np.uint8)
+    xor = benchmark(code.xor_parity, data)
+    assert np.array_equal(xor, code.encode(data)[0])
+
+
+def test_rs_decode_throughput(benchmark, rng):
+    code = RSCode(10, 4)
+    data = rng.integers(0, 256, size=(10, CHUNK), dtype=np.uint8)
+    parity = code.encode(data)
+    available = {i: data[i] for i in range(2, 10)}
+    available[10] = parity[0]
+    available[11] = parity[1]
+
+    def decode():
+        return code.decode(available, wanted=[0, 1])
+
+    out = benchmark(decode)
+    assert np.array_equal(out[0], data[0])
+
+
+def test_xor_repair_fast_path(benchmark, rng):
+    code = RSCode(10, 4)
+    data = rng.integers(0, 256, size=(10, CHUNK), dtype=np.uint8)
+    parity = code.encode(data)
+    survivors = {i: data[i] for i in range(1, 10)}
+    survivors[10] = parity[0]
+    out = benchmark(code.repair_with_xor, 0, survivors)
+    assert np.array_equal(out, data[0])
+
+
+def test_delta_merge_throughput(benchmark, rng):
+    deltas = [
+        ParityDelta(1, 1, int(off), rng.integers(0, 256, 512, dtype=np.uint8))
+        for off in rng.integers(0, CHUNK - 512, size=64)
+    ]
+    merged = benchmark(merge_parity_deltas, deltas)
+    assert merged.merged_count == 64

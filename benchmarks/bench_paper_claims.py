@@ -1,0 +1,30 @@
+"""The reproduction contract: every headline claim of the paper, verified in
+one table.  This is the summary the other benchmarks expand on."""
+
+from repro.analysis import format_table
+from repro.analysis.paper_check import verify_all
+
+
+def test_paper_claims(benchmark, show):
+    claims = benchmark.pedantic(
+        verify_all, kwargs=dict(n_objects=1200, n_requests=1200), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            c.claim,
+            f"{c.paper:g}",
+            f"{c.ours:.2f}",
+            f"±{c.tolerance:g}",
+            "PASS" if c.passed else "FAIL",
+            c.source,
+        ]
+        for c in claims
+    ]
+    show(format_table(
+        ["claim", "paper", "ours", "tol", "verdict", "source"],
+        rows,
+        title="Reproduction contract: headline claims",
+    ))
+    failed = [c for c in claims if not c.passed]
+    assert not failed, [c.claim for c in failed]
+    assert len(claims) >= 11

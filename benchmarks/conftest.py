@@ -1,0 +1,21 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each ``bench_*`` file regenerates one paper artifact at laptop scale and
+prints the same rows/series the paper reports.  Scales are chosen so the
+whole ``pytest benchmarks/ --benchmark-only`` run completes in minutes; crank
+the ``SCALE`` constants for closer-to-paper populations.
+"""
+
+import pytest
+
+
+def paper_print(text: str) -> None:
+    """Emit a paper-style table so it survives pytest's capture (-s not needed
+    for the final summary since pytest-benchmark prints its own table; rows
+    are also echoed via the terminal reporter)."""
+    print("\n" + text, flush=True)
+
+
+@pytest.fixture
+def show():
+    return paper_print

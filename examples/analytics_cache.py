@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Big-data analytics cache: the workload the paper's introduction motivates.
+
+An in-memory KV tier keeps hot analytics objects (4 KiB partitions) in DRAM.
+The job mix is update-heavy (50% reads / 50% updates, Zipf-skewed).  We run
+the same workload against all five systems and print the availability /
+latency / memory triangle each one picks.
+
+Run:  python examples/analytics_cache.py
+"""
+
+from repro.analysis import format_table
+from repro.baselines import make_store
+from repro.bench.runner import run_workload
+from repro.core import StoreConfig
+from repro.workloads import WorkloadSpec
+
+K, R = 10, 4
+N_OBJECTS = 1200
+N_REQUESTS = 1200
+
+spec = WorkloadSpec.read_update(
+    "50:50", n_objects=N_OBJECTS, n_requests=N_REQUESTS, value_size=4096, seed=7
+)
+
+rows = []
+for name in ("vanilla", "replication", "ipmem", "fsmem", "logecmem"):
+    store = make_store(name, StoreConfig(k=K, r=R, value_size=4096))
+    result = run_workload(store, spec)
+    tolerates = {
+        "vanilla": 0,
+        "replication": R,
+        "ipmem": R,
+        "fsmem": R,
+        "logecmem": R,
+    }[name]
+    rows.append(
+        [
+            name,
+            tolerates,
+            f"{result.mean_latency_us('read'):.0f}",
+            f"{result.mean_latency_us('update'):.0f}",
+            f"{result.memory_bytes / (1 << 20):.1f}",
+            f"{result.throughput_ops_s / 1e3:.1f}",
+        ]
+    )
+
+print(
+    format_table(
+        ["system", "failures tolerated", "read us", "update us", "DRAM MiB", "Kops/s"],
+        rows,
+        title=f"Analytics cache, ({K},{R}) code, {N_OBJECTS} x 4KiB objects, r:u=50:50",
+    )
+)
+
+print(
+    "\nTakeaway: LogECMem keeps replication-class availability at roughly "
+    "1/3 of its memory, with updates cheaper than in-place erasure coding."
+)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Record a workload trace once, replay it against two log schemes, and diff
+the outcomes request-for-request.
+
+Traces make comparisons airtight: both runs see byte-identical request
+streams, so every difference in the table below is the scheme's doing.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import format_table
+from repro.analysis.ascii_chart import hbar_chart
+from repro.bench.runner import load_store, run_requests
+from repro.core import LogECMem, StoreConfig
+from repro.workloads import WorkloadSpec, generate_requests, trace
+
+spec = WorkloadSpec.read_update("70:30", n_objects=800, n_requests=800, seed=21)
+
+# 1) record the trace once
+trace_path = Path(tempfile.gettempdir()) / "logecmem-demo.trace"
+trace.save(generate_requests(spec), trace_path)
+print(f"recorded {spec.n_requests} requests to {trace_path}")
+
+# 2) replay it against two schemes
+rows = []
+ios = {}
+for scheme in ("plr", "plm"):
+    store = LogECMem(StoreConfig(k=10, r=4, scheme=scheme))
+    load_store(store, spec)
+    result = run_requests(store, trace.load(trace_path), spec)
+    rows.append([
+        scheme,
+        f"{result.mean_latency_us('read'):.0f}",
+        f"{result.mean_latency_us('update'):.0f}",
+        result.disk_io_count,
+        f"{store.cluster.log_disk_logical_bytes() / (1 << 20):.1f}",
+    ])
+    ios[scheme] = result.disk_io_count
+
+print(format_table(
+    ["scheme", "read us", "update us", "disk IOs", "log space MiB"],
+    rows,
+    title="Identical request stream, two log layouts",
+))
+print()
+print(hbar_chart(ios, unit=" IOs", title="Disk IOs under the same trace"))
+print(
+    "\nLatency ties exactly (buffer logging hides the disk from the update\n"
+    "path); the layouts differ in what reaches the disk -- PLM's staging +\n"
+    "lazy merge cuts both the IO count and the on-disk footprint."
+)

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments without the wheel package
+(legacy `setup.py develop` path). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""LogECMem (SC '21) reproduction.
+
+A from-scratch implementation of *LogECMem: Coupling Erasure-Coded In-Memory
+Key-Value Stores with Parity Logging* and every substrate its evaluation
+depends on.  The public surface:
+
+* :class:`repro.StoreConfig` / :class:`repro.LogECMem` -- the system itself,
+* :func:`repro.make_store` -- any of the five systems under test by name
+  (``vanilla``, ``replication``, ``ipmem``, ``fsmem``, ``logecmem``),
+* :class:`repro.WorkloadSpec` + :mod:`repro.bench` -- YCSB-style workloads
+  and the experiment drivers behind every paper figure/table,
+* :func:`repro.mttdl_years` -- the §3.1 reliability model.
+
+See README.md for a tour and DESIGN.md for the architecture.
+"""
+
+from repro.baselines import make_store
+from repro.core import KVStore, LogECMem, OpResult, StoreConfig
+from repro.core.repair import NodeRepairResult, repair_node
+from repro.reliability import mttdl_years
+from repro.workloads import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KVStore",
+    "LogECMem",
+    "NodeRepairResult",
+    "OpResult",
+    "StoreConfig",
+    "WorkloadSpec",
+    "__version__",
+    "make_store",
+    "mttdl_years",
+    "repair_node",
+]

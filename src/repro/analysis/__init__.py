@@ -1,0 +1,27 @@
+"""Analysis layer: the paper's observations, tradeoff study and row printing.
+
+* :mod:`repro.analysis.observations` -- Figure 3 (updated stripes vs new
+  chunks per stripe) and Table 1 (memory overhead of in-place vs full-stripe).
+* :mod:`repro.analysis.tradeoff` -- Figure 16 points and Table 3 rankings.
+* :mod:`repro.analysis.report` -- paper-style plain-text tables.
+"""
+
+from repro.analysis.observations import (
+    memory_overhead_model,
+    observation2_table,
+    stripe_update_histogram,
+)
+from repro.analysis.tradeoff import TradeoffPoint, table3, tradeoff_points
+from repro.analysis.report import format_table, fmt_scientific, gib
+
+__all__ = [
+    "TradeoffPoint",
+    "fmt_scientific",
+    "format_table",
+    "gib",
+    "memory_overhead_model",
+    "observation2_table",
+    "stripe_update_histogram",
+    "table3",
+    "tradeoff_points",
+]

@@ -1,0 +1,73 @@
+"""Terminal bar charts for the benchmark/report output.
+
+No plotting dependency: figures render as labelled horizontal bars, good
+enough to *see* the shapes the paper's figures show (who wins, where the
+crossover falls) directly in the harness output.
+"""
+
+from __future__ import annotations
+
+BAR_CHARS = "█"
+
+
+def hbar_chart(
+    series: dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """One horizontal bar per entry, scaled to the max value."""
+    if not series:
+        return title or ""
+    peak = max(series.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in series)
+    lines = [title] if title else []
+    for name, value in series.items():
+        bar = BAR_CHARS * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{name.ljust(label_w)}  {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_chart(
+    groups: dict[str, dict[str, float]],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Several bar groups (e.g. one per read:update ratio) sharing one scale."""
+    if not groups:
+        return title or ""
+    peak = max((v for g in groups.values() for v in g.values()), default=1.0)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(
+        (len(k) for g in groups.values() for k in g), default=0
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"-- {group}")
+        for name, value in series.items():
+            bar = BAR_CHARS * max(1, round(value / peak * width)) if value > 0 else ""
+            lines.append(f"  {name.ljust(label_w)}  {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float], width: int | None = None) -> str:
+    """A one-line trend: ▁▂▃▄▅▆▇█ buckets over the value range."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    if width and len(values) > width:
+        # downsample by striding (keeps ends)
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * len(blocks)))]
+        for v in values
+    )

@@ -1,0 +1,38 @@
+"""Latency-breakdown aggregation.
+
+Operations that report a per-phase breakdown (``OpResult.info["breakdown"]``)
+can be aggregated into mean seconds per phase -- the quantitative form of the
+paper's §6.3 discussion ("a long I/O path for the additional encoding
+operation", "mitigates the number of parity reads from r to one").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.interface import OpResult
+
+
+def aggregate_breakdowns(results: list[OpResult]) -> dict[str, float]:
+    """Mean seconds per phase over the results that carry a breakdown."""
+    sums: dict[str, float] = defaultdict(float)
+    count = 0
+    for res in results:
+        breakdown = res.info.get("breakdown")
+        if not breakdown:
+            continue
+        count += 1
+        for phase, seconds in breakdown.items():
+            sums[phase] += seconds
+    if count == 0:
+        return {}
+    return {phase: total / count for phase, total in sums.items()}
+
+
+def breakdown_shares(results: list[OpResult]) -> dict[str, float]:
+    """Phase shares of the total (fractions summing to ~1)."""
+    means = aggregate_breakdowns(results)
+    total = sum(means.values())
+    if total <= 0:
+        return {}
+    return {phase: seconds / total for phase, seconds in means.items()}

@@ -1,0 +1,78 @@
+"""Observations 1 and 2 (§2.3): the motivation for HybridPL.
+
+Both observations are trace-driven: objects are loaded FIFO (every k
+consecutive objects form a stripe), one million Zipf-distributed requests are
+generated per read:update ratio, and we ask
+
+* **Observation 1 / Figure 3** -- per stripe, how many of its data chunks
+  received at least one update?  Update-light workloads leave most updated
+  stripes with a single new chunk, which is what makes full-stripe update
+  pay k-1 chunk reads per re-encoded stripe.
+* **Observation 2 / Table 1** -- how much memory do in-place and full-stripe
+  update need?  In-place stays at M; full-stripe retains the superseded
+  versions, growing to (1 + p) * M for update fraction p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.ycsb import WorkloadSpec, update_trace
+
+
+def stripe_update_histogram(
+    k: int,
+    spec: WorkloadSpec,
+) -> dict[int, int]:
+    """Figure 3: {new chunks per stripe: number of such updated stripes}.
+
+    Loaded objects stripe FIFO (object i sits in stripe i // k, as chunk
+    i % k); each update marks its object's chunk "new".  Only stripes with at
+    least one update are counted, matching the paper's y-axis.
+    """
+    updates = update_trace(spec)
+    if updates.size == 0:
+        return {}
+    chunk_ids = np.unique(updates)          # distinct updated chunks
+    stripe_ids = chunk_ids // k
+    _, new_chunks_per_stripe = np.unique(stripe_ids, return_counts=True)
+    buckets, counts = np.unique(new_chunks_per_stripe, return_counts=True)
+    return {int(b): int(c) for b, c in zip(buckets, counts)}
+
+
+def memory_overhead_model(update_fraction: float) -> dict[str, float]:
+    """Table 1's analytic model, in units of the total object size M."""
+    if not 0 <= update_fraction <= 1:
+        raise ValueError(f"update fraction must be in [0, 1], got {update_fraction}")
+    return {
+        "in-place": 1.0,
+        "full-stripe": 1.0 + update_fraction,
+    }
+
+
+def observation2_table(
+    ratios: list[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Table 1 for the paper's ratios: {'95:5': {'in-place': 1.0, ...}, ...}.
+
+    The paper issues one million requests over one million objects, so the
+    expected stale bytes equal (update ratio) * M exactly.
+    """
+    ratios = ratios or ["95:5", "80:20", "70:30", "50:50"]
+    out: dict[str, dict[str, float]] = {}
+    for ratio in ratios:
+        _, upd = (int(x) for x in ratio.split(":"))
+        out[ratio] = memory_overhead_model(upd / 100)
+    return out
+
+
+def measured_full_stripe_overhead(
+    k: int, spec: WorkloadSpec
+) -> float:
+    """Trace-measured full-stripe overhead in units of M.
+
+    Counts every update event as a retained stale version (deferred GC), i.e.
+    (#updates) / (#objects) extra -- the quantity Table 1 reports.
+    """
+    updates = update_trace(spec)
+    return 1.0 + updates.size / spec.n_objects

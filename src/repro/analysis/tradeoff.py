@@ -1,0 +1,74 @@
+"""Tradeoff analysis: Figure 16 scatter points and Table 3 rankings (§6.4).
+
+Consumes the per-configuration rows produced by Experiments 2-4 (store name,
+code, read:update ratio, mean update latency, memory overhead) and derives
+
+* the (memory, latency) points of Figure 16, and
+* Table 3's "best / low / high" labels: per (k group, ratio), stores ranked
+  by update latency (outside the brackets) and by memory (inside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of Figure 16."""
+
+    store: str
+    k: int
+    r: int
+    ratio: str
+    update_latency_us: float
+    memory_GiB: float
+
+
+def tradeoff_points(rows: list[dict]) -> list[TradeoffPoint]:
+    """Rows -> Figure 16 points (rows as emitted by the experiment drivers)."""
+    return [
+        TradeoffPoint(
+            store=row["store"],
+            k=row["k"],
+            r=row["r"],
+            ratio=row["ratio"],
+            update_latency_us=row["update_latency_us"],
+            memory_GiB=row["memory_GiB"],
+        )
+        for row in rows
+    ]
+
+
+_RANK_LABELS = ["best", "low", "high"]
+
+
+def _rank(values: dict[str, float]) -> dict[str, str]:
+    """Store -> 'best'/'low'/'high' by ascending value (paper's labels)."""
+    ordered = sorted(values, key=values.get)
+    labels = {}
+    for pos, store in enumerate(ordered):
+        labels[store] = _RANK_LABELS[min(pos, len(_RANK_LABELS) - 1)]
+    return labels
+
+
+def table3(rows: list[dict], stores: tuple[str, ...] = ("ipmem", "fsmem", "logecmem")):
+    """Table 3: {(k, ratio): {store: 'latency_label (memory_label)'}}.
+
+    ``rows`` must contain one entry per (store, k, ratio) with
+    ``update_latency_us`` and ``memory_GiB``.
+    """
+    cells: dict[tuple[int, str], dict[str, str]] = {}
+    keys = sorted({(row["k"], row["ratio"]) for row in rows})
+    for k, ratio in keys:
+        group = [r for r in rows if r["k"] == k and r["ratio"] == ratio and r["store"] in stores]
+        if len(group) < len(stores):
+            continue
+        lat = {r["store"]: r["update_latency_us"] for r in group}
+        mem = {r["store"]: r["memory_GiB"] for r in group}
+        lat_labels = _rank(lat)
+        mem_labels = _rank(mem)
+        cells[(k, ratio)] = {
+            s: f"{lat_labels[s]} ({mem_labels[s]})" for s in stores
+        }
+    return cells

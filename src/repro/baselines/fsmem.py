@@ -1,0 +1,159 @@
+"""FSMem: Memcached + full-stripe updates with deferred GC (§2.2, §6.1).
+
+An update never reads or patches parities: the new value is appended to the
+encoding queues and becomes part of a brand-new stripe (BCStore-style).  The
+costs show up elsewhere, exactly as the paper observes:
+
+* **memory** -- the old versions (data *and* their stripes' parities) linger
+  as stale items until garbage collection, so resident bytes grow with the
+  update ratio (Table 1 / Figure 12);
+* **GC re-computation** -- reclaiming a stripe with m updated chunks means
+  reading its k-m still-active chunks and re-encoding (Figure 1(c)); with a
+  large k and update-light workloads that dominates the amortised update
+  cost (Figures 11 and 13).
+
+GC runs deferred (once, at :meth:`FSMem.finalize`) by default, matching the
+measured regime; ``StoreConfig.fsmem_gc_stale_threshold`` switches to inline
+GC every time that many chunks are stale.  GC *cost* is always charged; space
+reclamation is modelled separately by :meth:`FSMem.reclaim` because memcached
+slabs hold freed items until reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import OpResult
+from repro.core.striped import StripedStoreBase
+
+
+class FSMem(StripedStoreBase):
+    """Full-stripe-update baseline with deferred garbage collection."""
+
+    name = "fsmem"
+    parity_in_dram = True
+
+    def __init__(self, config):
+        super().__init__(config)
+        #: stripe id -> set of data chunk seq numbers replaced by updates
+        self.stale_chunks: dict[int, set[int]] = {}
+        self._stale_chunk_count = 0
+        self._stale_version_bytes = 0  # every superseded version until reclaim
+        self.gc_total_s = 0.0
+        self.gc_deferred_s = 0.0  # the finalize-time share (amortised by the harness)
+        self.gc_rounds = 0
+        self.gc_chunk_reads = 0
+        self._update_counter = 0
+
+    # ------------------------------------------------------------------ update
+
+    def _update_impl(self, key: str, tombstone: bool) -> OpResult:
+        cfg = self.cfg
+        sid, seq, node_id, chunk, slot = self._locate(key)
+        new_version = self.versions[key] + 1
+        new_value = (
+            np.zeros(self._phys_value_len(), dtype=np.uint8)
+            if tombstone
+            else self._new_value(key, new_version)
+        )
+        latency = self.net.client_hop(64 + cfg.value_size)
+        if sid is None:
+            # object not sealed yet: replace it inside the open unit
+            chunk.write_slot(slot, new_value)
+            self.versions[key] = new_version
+            latency += self.net.parallel_puts([cfg.value_size])
+            return OpResult(latency_s=latency)
+
+        # full-stripe path: the new version enqueues toward a NEW stripe; the
+        # old chunk is marked stale (and its bytes stay resident until GC)
+        self.versions[key] = new_version
+        new_node = self._select_queue(f"{key}#v{new_version}")
+        latency += self._enqueue(key, new_node, new_value)
+        self.cluster.dram_nodes[new_node].table.set(
+            f"{key}@v{new_version}", cfg.value_size
+        )
+        latency += self.net.parallel_puts([cfg.value_size])
+        stale = self.stale_chunks.setdefault(sid, set())
+        if seq not in stale:
+            stale.add(seq)
+            self._stale_chunk_count += 1
+        self._stale_version_bytes += cfg.value_size
+        latency += self._maybe_seal()
+        self._update_counter += 1
+        if (
+            cfg.fsmem_gc_stale_threshold is not None
+            and self._stale_chunk_count >= cfg.fsmem_gc_stale_threshold
+        ):
+            latency += self._run_gc()
+        return OpResult(latency_s=latency)
+
+    # ---------------------------------------------------------------------- GC
+
+    def _run_gc(self) -> float:
+        """Re-encode every stripe holding stale chunks (Figure 1(b)/(c)).
+
+        A stripe with m stale data chunks needs its k-m active chunks read
+        back and a fresh parity set computed; a fully-replaced stripe is
+        released without any reads.  Returns total GC seconds."""
+        cfg = self.cfg
+        total = 0.0
+        for sid, stale in sorted(self.stale_chunks.items()):
+            m = len(stale)
+            active = cfg.k - m
+            if active > 0:
+                # log-structured reclamation: read the live chunks back to the
+                # proxy, re-encode, write the fresh parity set (live data
+                # chunks are re-referenced into the new stripe node-locally)
+                total += self.net.sequential_gets([cfg.chunk_size] * active)
+                self.gc_chunk_reads += active
+                total += cfg.profile.encode_s(cfg.k * cfg.chunk_size)
+                total += self.net.parallel_puts([cfg.chunk_size] * cfg.r)
+            self.counters.add("gc_stripes")
+        self.stale_chunks.clear()
+        self._stale_chunk_count = 0
+        self.gc_total_s += total
+        self.gc_rounds += 1
+        return total
+
+    def finalize(self) -> None:
+        """Deferred GC: charge the whole-run re-computation cost (space is
+        reclaimed separately via :meth:`reclaim`)."""
+        if self.stale_chunks:
+            self.gc_deferred_s += self._run_gc()
+        super().finalize()
+
+    def reclaim(self) -> int:
+        """Release stale items from the memtables (post-GC slab reuse).
+
+        Returns logical bytes freed.  Kept separate from :meth:`finalize` so
+        experiments can measure memory in the paper's pre-reclamation regime
+        and the ablation can measure the reclaimed one."""
+        freed = 0
+        for node in self.cluster.dram_nodes.values():
+            stale_keys = [k for k in list(node.table.keys()) if "@v" in k]
+            # the *latest* version of each object must survive
+            for skey in stale_keys:
+                base, _, ver = skey.rpartition("@v")
+                if int(ver) != self.versions.get(base, -1):
+                    freed += node.table.get(skey).footprint
+                    node.table.delete(skey)
+        # stale original-version items (objects that were updated at least once)
+        for key, version in self.versions.items():
+            if version > 0 and key not in self.deleted:
+                for node in self.cluster.dram_nodes.values():
+                    item = node.table.get(key)
+                    if item is not None:
+                        freed += item.footprint
+                        node.table.delete(key)
+                        break
+        return freed
+
+    # ------------------------------------------------------------------ metrics
+
+    @property
+    def stale_logical_bytes(self) -> int:
+        """Bytes held by superseded object versions (Table 1's overhead).
+
+        Every sealed update leaves its previous version resident until
+        reclaim, so this equals (#sealed updates) * value_size."""
+        return self._stale_version_bytes

@@ -1,0 +1,113 @@
+"""(r+1)-way replication (§6.1).
+
+Tolerates r failures like a (k, r) code but stores r+1 full copies.  Writes
+and updates fan out to every replica; degraded reads just try the next
+replica, which is why the paper shows replication with the lowest degraded
+latency and by far the highest memory overhead.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import Cluster
+from repro.core.config import StoreConfig
+from repro.core.interface import DataLossError, KVStore, OpResult
+from repro.kvstore.chunk import make_value
+
+
+class ReplicatedStore(KVStore):
+    """Full-copy replication across r+1 nodes chosen on the hash ring."""
+
+    name = "replication"
+
+    def __init__(self, config: StoreConfig):
+        self.cfg = config
+        self.copies = config.r + 1
+        self.cluster = Cluster(profile=config.profile, n_dram=config.n, n_log=0)
+        if self.copies > config.n:
+            raise ValueError(
+                f"{self.copies}-way replication needs at least {self.copies} nodes"
+            )
+        self.net = self.cluster.network
+        self.counters = self.cluster.counters
+        self.versions: dict[str, int] = {}
+        self.placement: dict[str, list[str]] = {}
+
+    def _phys_len(self) -> int:
+        return max(1, round(self.cfg.value_size * self.cfg.payload_scale))
+
+    def _replicate(self, key: str) -> list[str]:
+        nodes = self.placement.get(key)
+        if nodes is None:
+            nodes = self.cluster.ring.lookup_many(key, self.copies)
+            self.placement[key] = nodes
+        return nodes
+
+    def write(self, key: str) -> OpResult:
+        if key in self.versions:
+            raise KeyError(f"object {key!r} already exists; use update()")
+        self.versions[key] = 0
+        for nid in self._replicate(key):
+            self.cluster.dram_nodes[nid].table.set(key, self.cfg.value_size)
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.parallel_puts([self.cfg.value_size] * self.copies)
+        self.counters.add("op_write")
+        return OpResult(latency_s=latency)
+
+    def read(self, key: str) -> OpResult:
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        primary = self._replicate(key)[0]
+        if not self.cluster.dram_nodes[primary].alive:
+            result = self.degraded_read(key)
+            result.degraded = True
+            return result
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.sequential_gets([self.cfg.value_size])
+        self.counters.add("op_read")
+        return OpResult(latency_s=latency, value=self.expected_value(key))
+
+    def update(self, key: str) -> OpResult:
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        self.versions[key] += 1
+        for nid in self._replicate(key):
+            self.cluster.dram_nodes[nid].table.set(key, self.cfg.value_size)
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.parallel_puts([self.cfg.value_size] * self.copies)
+        self.counters.add("op_update")
+        return OpResult(latency_s=latency)
+
+    def delete(self, key: str) -> OpResult:
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        for nid in self._replicate(key):
+            self.cluster.dram_nodes[nid].table.delete(key)
+        del self.versions[key]
+        del self.placement[key]
+        latency = self.net.client_hop(64) + self.net.parallel_puts([64] * self.copies)
+        self.counters.add("op_delete")
+        return OpResult(latency_s=latency)
+
+    def degraded_read(self, key: str) -> OpResult:
+        """Failed GET on the primary, then a plain read from the next live
+        replica -- no decoding, hence the paper's low degraded latency."""
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.rpc(64, 0)  # the failed attempt
+        for nid in self._replicate(key)[1:]:
+            if self.cluster.dram_nodes[nid].alive:
+                latency += self.net.sequential_gets([self.cfg.value_size])
+                self.counters.add("op_degraded_read")
+                return OpResult(
+                    latency_s=latency, value=self.expected_value(key), degraded=True
+                )
+            latency += self.net.rpc(64, 0)
+        raise DataLossError(f"all {self.copies} replicas of {key!r} are down")
+
+    @property
+    def memory_logical_bytes(self) -> int:
+        return self.cluster.dram_logical_bytes
+
+    def expected_value(self, key: str):
+        return make_value(key, self.versions[key], self._phys_len())

@@ -1,0 +1,83 @@
+"""Vanilla Memcached: single-copy, no reliability assurance (§6.1).
+
+The paper's lower-bound baseline: fastest basic I/O because nothing is
+encoded or replicated, but a failed node simply loses data.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import Cluster
+from repro.core.config import StoreConfig
+from repro.core.interface import DataLossError, KVStore, OpResult
+from repro.kvstore.chunk import make_value
+
+
+class VanillaMemcached(KVStore):
+    """One copy per object, spread by consistent hashing."""
+
+    name = "vanilla"
+
+    def __init__(self, config: StoreConfig):
+        self.cfg = config
+        self.cluster = Cluster(profile=config.profile, n_dram=config.n, n_log=0)
+        self.net = self.cluster.network
+        self.counters = self.cluster.counters
+        self.versions: dict[str, int] = {}
+        self.placement: dict[str, str] = {}
+
+    def _phys_len(self) -> int:
+        return max(1, round(self.cfg.value_size * self.cfg.payload_scale))
+
+    def write(self, key: str) -> OpResult:
+        if key in self.versions:
+            raise KeyError(f"object {key!r} already exists; use update()")
+        node_id = self.cluster.ring.lookup(key)
+        self.placement[key] = node_id
+        self.versions[key] = 0
+        self.cluster.dram_nodes[node_id].table.set(key, self.cfg.value_size)
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.parallel_puts([self.cfg.value_size])
+        self.counters.add("op_write")
+        return OpResult(latency_s=latency)
+
+    def read(self, key: str) -> OpResult:
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        node = self.cluster.dram_nodes[self.placement[key]]
+        if not node.alive:
+            raise DataLossError(f"vanilla store lost {key!r} (no redundancy)")
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.sequential_gets([self.cfg.value_size])
+        self.counters.add("op_read")
+        return OpResult(latency_s=latency, value=self.expected_value(key))
+
+    def update(self, key: str) -> OpResult:
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        self.versions[key] += 1
+        node = self.cluster.dram_nodes[self.placement[key]]
+        node.table.set(key, self.cfg.value_size)  # in-place replace
+        latency = self.net.client_hop(64 + self.cfg.value_size)
+        latency += self.net.parallel_puts([self.cfg.value_size])
+        self.counters.add("op_update")
+        return OpResult(latency_s=latency)
+
+    def delete(self, key: str) -> OpResult:
+        if key not in self.versions:
+            raise KeyError(f"object {key!r} does not exist")
+        node = self.cluster.dram_nodes[self.placement.pop(key)]
+        node.table.delete(key)
+        del self.versions[key]
+        latency = self.net.client_hop(64) + self.net.parallel_puts([64])
+        self.counters.add("op_delete")
+        return OpResult(latency_s=latency)
+
+    def degraded_read(self, key: str) -> OpResult:
+        raise DataLossError("vanilla Memcached has no redundancy to read from")
+
+    @property
+    def memory_logical_bytes(self) -> int:
+        return self.cluster.dram_logical_bytes
+
+    def expected_value(self, key: str):
+        return make_value(key, self.versions[key], self._phys_len())

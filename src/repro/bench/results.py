@@ -1,0 +1,90 @@
+"""Experiment-result persistence.
+
+Every experiment driver returns a list of row dicts; this module writes them
+to JSON (full fidelity) or CSV (spreadsheet-friendly) with a small metadata
+header, and reads them back, so runs can be archived, diffed across code
+versions, or post-processed outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+
+def to_json(rows: list[dict], meta: dict | None = None) -> str:
+    """Serialise rows (+ optional metadata) to a JSON document."""
+    return json.dumps({"meta": meta or {}, "rows": rows}, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> tuple[list[dict], dict]:
+    """Parse a JSON result document; returns (rows, meta)."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise ValueError("not a result document (missing 'rows')")
+    return doc["rows"], doc.get("meta", {})
+
+
+def to_csv(rows: list[dict]) -> str:
+    """Serialise rows to CSV with a union-of-keys header."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def from_csv(text: str) -> list[dict]:
+    """Parse CSV back into rows (numeric fields restored where possible)."""
+    rows: list[dict] = []
+    for raw in csv.DictReader(io.StringIO(text)):
+        row: dict = {}
+        for key, value in raw.items():
+            if value is None or value == "":
+                row[key] = value
+                continue
+            try:
+                row[key] = int(value)
+            except ValueError:
+                try:
+                    row[key] = float(value)
+                except ValueError:
+                    if value in ("True", "False"):
+                        row[key] = value == "True"
+                    else:
+                        row[key] = value
+        rows.append(row)
+    return rows
+
+
+def save(rows: list[dict], path: str | Path, meta: dict | None = None) -> Path:
+    """Write rows to ``path``; format chosen by suffix (.json or .csv)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(to_json(rows, meta))
+    elif path.suffix == ".csv":
+        path.write_text(to_csv(rows))
+    else:
+        raise ValueError(f"unsupported result format {path.suffix!r} (use .json/.csv)")
+    return path
+
+
+def load(path: str | Path) -> list[dict]:
+    """Read rows back from a .json or .csv result file."""
+    path = Path(path)
+    if path.suffix == ".json":
+        rows, _ = from_json(path.read_text())
+        return rows
+    if path.suffix == ".csv":
+        return from_csv(path.read_text())
+    raise ValueError(f"unsupported result format {path.suffix!r} (use .json/.csv)")

@@ -1,0 +1,201 @@
+"""Workload execution and metric collection.
+
+``load_store`` performs the paper's load phase (write every object, FIFO
+striping); ``run_requests`` replays a request stream and collects per-op
+latency statistics; ``run_workload`` does both.  Throughput is estimated
+from the closed-loop client concurrency and the mechanistically-counted
+proxy NIC/CPU loads -- see :func:`estimate_throughput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median, pstdev
+
+from repro.core.interface import KVStore
+from repro.sim.closedloop import ClosedLoopResult, OpDemand, simulate
+from repro.workloads.ycsb import (
+    Operation,
+    Request,
+    WorkloadSpec,
+    generate_requests,
+    load_keys,
+)
+
+
+@dataclass
+class WorkloadResult:
+    """Latency/throughput/footprint summary of one run."""
+
+    store: str
+    spec: WorkloadSpec
+    latencies_s: dict[str, list[float]] = field(default_factory=dict)
+    demands: list[OpDemand] = field(default_factory=list)
+    deferred_update_s: float = 0.0  # FSMem's deferred-GC share
+    memory_bytes: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
+    disk_io_count: int = 0
+    throughput_ops_s: float = 0.0
+
+    def op_count(self, op: str) -> int:
+        return len(self.latencies_s.get(op, ()))
+
+    def mean_latency_us(self, op: str) -> float:
+        lats = self.latencies_s.get(op)
+        if not lats:
+            return 0.0
+        total = sum(lats)
+        if op == "update":
+            total += self.deferred_update_s
+        return total / len(lats) * 1e6
+
+    def median_latency_us(self, op: str) -> float:
+        lats = self.latencies_s.get(op)
+        return median(lats) * 1e6 if lats else 0.0
+
+    def std_latency_us(self, op: str) -> float:
+        """Latency standard deviation (the variance the paper reports for
+        its fluctuating cloud network; zero unless jitter is enabled)."""
+        lats = self.latencies_s.get(op)
+        if not lats or len(lats) < 2:
+            return 0.0
+        return pstdev(lats) * 1e6
+
+    def p95_latency_us(self, op: str) -> float:
+        lats = sorted(self.latencies_s.get(op, ()))
+        if not lats:
+            return 0.0
+        return lats[min(len(lats) - 1, int(0.95 * len(lats)))] * 1e6
+
+    def overall_mean_latency_s(self) -> float:
+        total = sum(sum(v) for v in self.latencies_s.values()) + self.deferred_update_s
+        count = sum(len(v) for v in self.latencies_s.values())
+        return total / count if count else 0.0
+
+
+def estimate_throughput(store: KVStore, result: WorkloadResult) -> float:
+    """Closed-loop ops/s bounded by the proxy NIC and CPU.
+
+    throughput = min( concurrency / mean latency,
+                      NIC bandwidth / bytes per op,
+                      1 / CPU seconds per op )
+    with bytes/RPCs per op taken from the run's real counters.
+    """
+    ops = sum(len(v) for v in result.latencies_s.values())
+    if ops == 0:
+        return 0.0
+    profile = store.cfg.profile
+    mean_lat = result.overall_mean_latency_s()
+    closed_loop = profile.client_concurrency / mean_lat if mean_lat > 0 else float("inf")
+    bytes_per_op = result.counters.get("net_bytes", 0.0) / ops
+    nic_bound = (
+        profile.net_bandwidth_Bps / bytes_per_op if bytes_per_op > 0 else float("inf")
+    )
+    rpcs_per_op = result.counters.get("net_rpcs", 0.0) / ops
+    cpu_per_op = profile.rpc_overhead_s * rpcs_per_op
+    cpu_bound = 1.0 / cpu_per_op if cpu_per_op > 0 else float("inf")
+    return min(closed_loop, nic_bound, cpu_bound)
+
+
+def load_store(store: KVStore, spec: WorkloadSpec) -> float:
+    """Load phase: insert every object; returns total simulated seconds."""
+    total = 0.0
+    clock = store.cluster.clock
+    for key in load_keys(spec):
+        res = store.write(key)
+        clock.advance(res.latency_s)
+        total += res.latency_s
+    return total
+
+
+def run_requests(
+    store: KVStore,
+    requests: list[Request],
+    spec: WorkloadSpec,
+    record_demands: bool = False,
+) -> WorkloadResult:
+    """Replay a request stream; returns latency stats and counters.
+
+    With ``record_demands`` each request also yields an
+    :class:`~repro.sim.closedloop.OpDemand` (proxy CPU / NIC / remote split,
+    derived from the per-op counter deltas) for closed-loop simulation.
+    """
+    result = WorkloadResult(store=store.name, spec=spec)
+    lats = result.latencies_s
+    clock = store.cluster.clock
+    profile = store.cfg.profile
+    counters = store.counters
+    for req in requests:
+        if record_demands:
+            bytes_before = counters["net_bytes"]
+            rpcs_before = counters["net_rpcs"]
+        if req.op is Operation.READ:
+            res = store.read(req.key)
+        elif req.op is Operation.UPDATE:
+            res = store.update(req.key)
+        elif req.op is Operation.WRITE:
+            res = store.write(req.key)
+        else:
+            res = store.delete(req.key)
+        clock.advance(res.latency_s)
+        lats.setdefault(req.op.value, []).append(res.latency_s)
+        if record_demands:
+            d_bytes = counters["net_bytes"] - bytes_before
+            d_rpcs = counters["net_rpcs"] - rpcs_before
+            cpu_s = profile.rpc_overhead_s * d_rpcs
+            nic_s = d_bytes / profile.net_bandwidth_Bps
+            result.demands.append(
+                OpDemand(
+                    cpu_s=cpu_s,
+                    nic_bytes=d_bytes,
+                    remote_s=max(0.0, res.latency_s - cpu_s - nic_s),
+                )
+            )
+    # memory is measured in the paper's regime: before any deferred GC/reclaim
+    result.memory_bytes = store.memory_logical_bytes
+    store.finalize()
+    result.deferred_update_s = getattr(store, "gc_deferred_s", 0.0)
+    result.counters = store.counters.as_dict()
+    if hasattr(store.cluster, "disk_stats"):
+        result.disk_io_count = store.cluster.disk_stats().io_count
+    result.throughput_ops_s = estimate_throughput(store, result)
+    return result
+
+
+def run_workload(
+    store: KVStore, spec: WorkloadSpec, record_demands: bool = False
+) -> WorkloadResult:
+    """Load phase + run phase."""
+    load_store(store, spec)
+    return run_requests(store, generate_requests(spec), spec, record_demands)
+
+
+def simulate_closed_loop(
+    store: KVStore, result: WorkloadResult, concurrency: int | None = None
+) -> ClosedLoopResult:
+    """Closed-loop DES over the run's recorded per-op demands.
+
+    Complements :func:`estimate_throughput`: the analytic estimate is an
+    upper bound (no queueing); the simulation plays the exact op mix through
+    the shared proxy CPU/NIC and reports achieved throughput + utilisations.
+    """
+    if not result.demands:
+        raise ValueError("run the workload with record_demands=True first")
+    return simulate(result.demands, store.cfg.profile, concurrency)
+
+
+def measure_degraded_reads(
+    store: KVStore, spec: WorkloadSpec, samples: int = 200, offset: int = 0
+) -> list[float]:
+    """Force-degraded reads over a deterministic key sample (Experiment 1)."""
+    lats = []
+    step = max(1, spec.n_objects // samples)
+    keys = load_keys(spec)
+    clock = store.cluster.clock
+    for i in range(offset, spec.n_objects, step):
+        res = store.degraded_read(keys[i])
+        clock.advance(res.latency_s)
+        lats.append(res.latency_s)
+        if len(lats) >= samples:
+            break
+    return lats

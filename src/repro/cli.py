@@ -1,0 +1,328 @@
+"""Command-line reproduction driver: ``python -m repro <command>``.
+
+Commands mirror the paper's artifact-evaluation workflow:
+
+* ``table2``                         -- the §3.1 MTTDL table
+* ``observation1`` / ``observation2`` -- §2.3's motivating measurements
+* ``exp1`` .. ``exp7``               -- the §6.3 experiments (scaled)
+* ``tradeoff``                       -- Figure 16 points + Table 3 rankings
+* ``run``                            -- one store under one workload/preset
+
+Every command prints paper-style plain-text tables; scales are configurable
+with ``--objects/--requests``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from statistics import mean
+
+from repro.analysis import (
+    fmt_scientific,
+    format_table,
+    observation2_table,
+    stripe_update_histogram,
+    table3,
+)
+from repro.baselines import make_store
+from repro.bench import experiments as exps
+from repro.bench.runner import run_requests
+from repro.core.config import StoreConfig
+from repro.reliability import table2
+from repro.workloads import (
+    WorkloadSpec,
+    generate_preset_requests,
+    generate_requests,
+    load_keys,
+    preset_spec,
+)
+
+DEFAULT_OBJECTS = 1500
+DEFAULT_REQUESTS = 1500
+
+
+def _parse_code(text: str) -> tuple[int, int]:
+    try:
+        k, r = (int(x) for x in text.split(","))
+        return k, r
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"code must look like '6,3', got {text!r}")
+
+
+def _add_scale(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--objects", type=int, default=DEFAULT_OBJECTS)
+    p.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--out",
+        default=None,
+        help="also save the raw rows to this .json or .csv file",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LogECMem (SC'21) reproduction driver"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="MTTDL Markov model (Table 2)")
+
+    p = sub.add_parser("observation1", help="updated stripes histogram (Figure 3)")
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default="95:5")
+    _add_scale(p)
+
+    sub.add_parser("observation2", help="memory overhead model (Table 1)")
+
+    for name, help_text in [
+        ("exp1", "basic I/O latency + throughput (Figure 10)"),
+        ("exp2", "update latency (Figure 11)"),
+        ("exp3", "memory overhead (Figure 12)"),
+        ("exp4", "large-scale k (Figure 13)"),
+        ("exp5", "disk IOs per log scheme (Figure 14 a-b)"),
+        ("exp6", "multi-failure repair latency (Figure 14 c-d)"),
+        ("exp7", "node repair throughput (Figure 15)"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        _add_scale(p)
+
+    p = sub.add_parser("tradeoff", help="Figure 16 points + Table 3 rankings")
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "report",
+        help="run every table/figure at one scale; write REPORT.txt + row files",
+    )
+    p.add_argument("--dir", default="results", help="output directory")
+    _add_scale(p)
+
+    p = sub.add_parser("run", help="run one store under one workload")
+    p.add_argument("--store", default="logecmem",
+                   choices=["vanilla", "replication", "ipmem", "fsmem", "logecmem"])
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default=None, help="read:update ratio, e.g. 80:20")
+    p.add_argument("--preset", default=None, help="YCSB preset A-F")
+    p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
+    p.add_argument("--value-size", type=int, default=4096)
+    _add_scale(p)
+    return parser
+
+
+def _rows_to_table(rows: list[dict], columns: list[str], title: str) -> str:
+    body = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    return format_table(columns, body, title=title)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return value
+
+
+def cmd_table2(args, out) -> None:
+    grid = table2()
+    rows = []
+    for (k, r), cells in grid.items():
+        rows.append([f"({k},{r})"] + [fmt_scientific(cells[b]) for b in (1, 10, 40, 100)])
+    out(format_table(
+        ["code", "B=1", "B=10", "B=40", "B=100"], rows,
+        title="Table 2: MTTDL (years)",
+    ))
+
+
+def cmd_observation1(args, out) -> None:
+    k, r = args.code
+    spec = WorkloadSpec.read_update(
+        args.ratio, n_objects=args.objects, n_requests=args.requests, seed=args.seed
+    )
+    hist = stripe_update_histogram(k, spec)
+    out(format_table(
+        ["# new chunks", "# updated stripes"],
+        [[b, hist[b]] for b in sorted(hist)],
+        title=f"Figure 3: ({k},{r}) code, r:u={args.ratio}",
+    ))
+
+
+def cmd_observation2(args, out) -> None:
+    table = observation2_table()
+    rows = [
+        [ratio, "M", f"{cells['full-stripe']:.2f}M"] for ratio, cells in table.items()
+    ]
+    out(format_table(["r:u", "in-place", "full-stripe"], rows,
+                     title="Table 1: memory overhead"))
+
+
+def cmd_experiment(args, out) -> None:
+    scale = dict(n_objects=args.objects, n_requests=args.requests, seed=args.seed)
+    if args.command == "exp1":
+        rows = exps.experiment1(**scale)
+        cols = ["store", "value_size", "ratio", "read_latency_us",
+                "write_latency_us", "degraded_latency_us", "throughput_kops"]
+        title = "Experiment 1 (Figure 10)"
+    elif args.command == "exp2":
+        rows = exps.experiment2(**scale)
+        cols = ["store", "k", "r", "ratio", "update_latency_us"]
+        title = "Experiment 2 (Figure 11)"
+    elif args.command == "exp3":
+        rows = exps.experiment3(**scale)
+        cols = ["store", "k", "r", "ratio", "memory_GiB"]
+        title = "Experiment 3 (Figure 12)"
+    elif args.command == "exp4":
+        rows = exps.experiment4(**scale)
+        cols = ["store", "k", "r", "ratio", "update_latency_us", "memory_GiB"]
+        title = "Experiment 4 (Figure 13)"
+    elif args.command == "exp5":
+        rows = exps.experiment5(**scale)
+        cols = ["scheme", "k", "r", "ratio", "disk_ios"]
+        title = "Experiment 5 (Figure 14 a-b)"
+    elif args.command == "exp6":
+        rows = exps.experiment6(**scale)
+        cols = ["scheme", "k", "r", "ratio", "degraded_latency_us"]
+        title = "Experiment 6 (Figure 14 c-d)"
+    else:
+        rows = exps.experiment7(
+            n_objects=args.objects, n_requests=args.requests, seed=args.seed
+        )
+        cols = ["k", "r", "log_assist", "repair_time_s", "throughput_GiB_per_min"]
+        title = "Experiment 7 (Figure 15)"
+    out(_rows_to_table(rows, cols, title))
+    if getattr(args, "out", None):
+        from repro.bench import results
+
+        path = results.save(
+            rows,
+            args.out,
+            meta={
+                "command": args.command,
+                "objects": args.objects,
+                "requests": args.requests,
+                "seed": args.seed,
+            },
+        )
+        out(f"rows saved to {path}")
+
+
+def cmd_tradeoff(args, out) -> None:
+    rows = exps.update_memory_sweep(
+        [(6, 3), (10, 4), (16, 4)],
+        stores=("ipmem", "fsmem", "logecmem"),
+        n_objects=args.objects,
+        n_requests=args.requests,
+        seed=args.seed,
+    )
+    out(_rows_to_table(
+        rows, ["store", "k", "ratio", "update_latency_us", "memory_GiB"],
+        "Figure 16 points",
+    ))
+    cells = table3(rows)
+    out(format_table(
+        ["k", "r:u", "IPMem", "FSMem", "LogECMem"],
+        [[k, ratio, c["ipmem"], c["fsmem"], c["logecmem"]]
+         for (k, ratio), c in sorted(cells.items())],
+        title="Table 3 rankings",
+    ))
+
+
+def cmd_run(args, out) -> None:
+    k, r = args.code
+    config = StoreConfig(k=k, r=r, value_size=args.value_size, scheme=args.scheme)
+    store = make_store(args.store, config)
+    if args.preset:
+        spec = preset_spec(
+            args.preset, n_objects=args.objects, n_requests=args.requests,
+            value_size=args.value_size, seed=args.seed,
+        )
+        requests = generate_preset_requests(args.preset, spec)
+        label = f"YCSB-{args.preset.upper()}"
+    else:
+        ratio = args.ratio or "95:5"
+        spec = WorkloadSpec.read_update(
+            ratio, n_objects=args.objects, n_requests=args.requests,
+            value_size=args.value_size, seed=args.seed,
+        )
+        requests = generate_requests(spec)
+        label = f"r:u={ratio}"
+    for key in load_keys(spec):
+        res = store.write(key)
+        store.cluster.clock.advance(res.latency_s)
+    result = run_requests(store, requests, spec)
+    rows = []
+    for op in ("read", "update", "write", "delete"):
+        if result.op_count(op):
+            rows.append([
+                op,
+                result.op_count(op),
+                f"{result.mean_latency_us(op):.1f}",
+                f"{result.median_latency_us(op):.1f}",
+                f"{result.p95_latency_us(op):.1f}",
+            ])
+    out(format_table(
+        ["op", "count", "mean us", "median us", "p95 us"], rows,
+        title=f"{args.store} ({k},{r}) under {label}",
+    ))
+    out(f"memory: {result.memory_bytes} B logical; "
+        f"throughput ~{result.throughput_ops_s / 1e3:.1f} Kops/s; "
+        f"log-disk IOs: {result.disk_io_count}")
+
+
+def cmd_report(args, out) -> None:
+    """The artifact-evaluation flow in one command: every table and figure
+    at the chosen scale, each section appended to REPORT.txt and its raw
+    rows saved as JSON next to it."""
+    from pathlib import Path
+
+    outdir = Path(args.dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    sections: list[str] = []
+    collect = sections.append
+
+    def section(title: str, handler, ns) -> None:
+        collect(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
+        handler(ns, collect)
+
+    base = dict(objects=args.objects, requests=args.requests, seed=args.seed)
+    ns = argparse.Namespace(**base, code=(6, 3), ratio="50:50", out=None)
+    section("Table 2 (MTTDL)", cmd_table2, ns)
+    section("Observation 1 (Figure 3)", cmd_observation1, ns)
+    section("Observation 2 (Table 1)", cmd_observation2, ns)
+    for name, title in [
+        ("exp1", "Experiment 1 (Figure 10)"),
+        ("exp2", "Experiment 2 (Figure 11)"),
+        ("exp3", "Experiment 3 (Figure 12)"),
+        ("exp4", "Experiment 4 (Figure 13)"),
+        ("exp5", "Experiment 5 (Figure 14 a-b)"),
+        ("exp6", "Experiment 6 (Figure 14 c-d)"),
+        ("exp7", "Experiment 7 (Figure 15)"),
+    ]:
+        ns = argparse.Namespace(
+            command=name, **base, out=str(outdir / f"{name}.json")
+        )
+        section(title, cmd_experiment, ns)
+    ns = argparse.Namespace(**base, out=None)
+    section("Figure 16 + Table 3", cmd_tradeoff, ns)
+
+    report_path = outdir / "REPORT.txt"
+    report_path.write_text("\n".join(str(s) for s in sections) + "\n")
+    out(f"report written to {report_path} "
+        f"({len(list(outdir.glob('*.json')))} row files alongside)")
+
+
+def main(argv: list[str] | None = None, out=print) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table2": cmd_table2,
+        "observation1": cmd_observation1,
+        "observation2": cmd_observation2,
+        "tradeoff": cmd_tradeoff,
+        "report": cmd_report,
+        "run": cmd_run,
+    }
+    handler = handlers.get(args.command, cmd_experiment)
+    handler(args, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Cluster substrate: nodes, placement, topology and failure injection.
+
+Mirrors the paper's testbed shape (§6.2): for a (k, r) code there are
+``k + 1`` DRAM nodes (all data chunks + the XOR parity), ``r - 1`` log nodes
+(the remaining parities plus their delta logs), one proxy and one client.
+Placement of keys to DRAM nodes uses consistent hashing, as the prototype
+does via libmemcached.
+"""
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.node import DRAMNode, LogNode, Node
+from repro.cluster.topology import Cluster
+
+__all__ = ["Cluster", "ConsistentHashRing", "DRAMNode", "LogNode", "Node"]

@@ -1,0 +1,145 @@
+"""Storage nodes: DRAM nodes (memcached instances) and disk-backed log nodes.
+
+A :class:`DRAMNode` is a memcached stand-in holding data chunks and XOR
+parity chunks as items in a :class:`~repro.kvstore.memtable.MemTable`.
+
+A :class:`LogNode` implements buffer logging (§3.3.2): incoming records land
+in a DRAM buffer and are acknowledged immediately; the buffer flushes to disk
+through a pluggable log scheme (PL/PLR/PLR-m/PLM) asynchronously, unless the
+buffer is full, in which case the flush becomes synchronous backpressure on
+the caller's critical path.
+"""
+
+from __future__ import annotations
+
+from repro.kvstore.memtable import MemTable
+from repro.logstore import make_scheme
+from repro.logstore.base import ParityReadResult
+from repro.logstore.buffer import LogBuffer
+from repro.logstore.records import LogRecord
+from repro.sim.disk import DiskModel
+from repro.sim.params import HardwareProfile
+
+
+class Node:
+    """Base node: identity plus alive/failed state."""
+
+    kind = "node"
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.alive = True
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def restore(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.alive else "DOWN"
+        return f"{type(self).__name__}({self.node_id!r}, {state})"
+
+
+class DRAMNode(Node):
+    """One memcached instance: data chunks + XOR parity chunks in DRAM."""
+
+    kind = "dram"
+
+    def __init__(self, node_id: str):
+        super().__init__(node_id)
+        self.table = MemTable(name=node_id)
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.table.logical_bytes
+
+
+class LogNode(Node):
+    """One log node: DRAM delta buffer + disk with a log-layout scheme."""
+
+    kind = "log"
+
+    def __init__(
+        self,
+        node_id: str,
+        profile: HardwareProfile,
+        scheme: str = "plm",
+        bytes_scale: float = 1.0,
+        merge_buffer: bool = True,
+    ):
+        super().__init__(node_id)
+        self.profile = profile
+        self.disk = DiskModel(profile, name=f"{node_id}:disk")
+        self.scheme = make_scheme(scheme, self.disk, bytes_scale=bytes_scale)
+        self.buffer = LogBuffer(
+            capacity_bytes=profile.log_buffer_bytes,
+            flush_threshold_bytes=profile.log_flush_threshold_bytes,
+            merge=merge_buffer,
+        )
+        self.sync_flush_stalls = 0
+
+    # -- write path -----------------------------------------------------------
+
+    def append(self, record: LogRecord, now: float) -> float:
+        """Buffer one record; returns critical-path seconds.
+
+        Normally 0: buffer logging acknowledges as soon as the record is in
+        DRAM.  If the disk has fallen more than ``max_disk_backlog_s`` behind
+        its flush queue, the write stalls until the backlog drains below the
+        bound (the crash-consistency window must stay bounded)."""
+        stall = 0.0
+        backlog = self.disk.backlog_s(now)
+        if backlog > self.profile.max_disk_backlog_s:
+            self.sync_flush_stalls += 1
+            stall = backlog - self.profile.max_disk_backlog_s
+        self.buffer.add(record)
+        if self.buffer.should_flush():
+            self._flush(now)  # asynchronous: occupies the disk, not the caller
+        return stall
+
+    def _flush(self, now: float) -> float:
+        records = self.buffer.drain()
+        if not records:
+            return 0.0
+        return self.scheme.flush(records, now)
+
+    def settle(self, now: float) -> float:
+        """Flush everything and finish lazy merges (end of run / pre-repair)."""
+        dur = self._flush(now)
+        dur += self.scheme.settle(now)
+        return dur
+
+    def drop_stripe_parity(self, stripe_id: int, parity_index: int) -> None:
+        """Release everything held for one (stripe, parity): buffered records
+        and the persisted reserved region (used by stripe GC)."""
+        self.buffer.drop(stripe_id, parity_index)
+        self.scheme.drop(stripe_id, parity_index)
+
+    # -- repair path ----------------------------------------------------------
+
+    def read_uptodate_parity(
+        self, stripe_id: int, parity_index: int, phys_size: int, now: float
+    ) -> ParityReadResult:
+        """Up-to-date parity = persisted state + records still in the buffer."""
+        result = self.scheme.read_parity(stripe_id, parity_index, phys_size, now)
+        payload = result.payload
+        has_base = result.has_base
+        for rec in self.buffer.records_for(stripe_id, parity_index):
+            if rec.is_chunk:
+                payload = rec.chunk.copy()
+                has_base = True
+            else:
+                payload[rec.delta.offset : rec.delta.end] ^= rec.delta.payload
+        if not has_base:
+            raise KeyError(
+                f"log node {self.node_id}: no base parity for stripe {stripe_id} "
+                f"parity {parity_index}"
+            )
+        return ParityReadResult(
+            duration_s=result.duration_s,
+            payload=payload,
+            disk_reads=result.disk_reads,
+            logical_bytes_read=result.logical_bytes_read,
+            has_base=True,
+        )

@@ -1,0 +1,16 @@
+"""LogECMem core: the HybridPL architecture realised as a KV store.
+
+Public entry points:
+
+* :class:`repro.core.config.StoreConfig` -- code parameters, value sizes,
+  log scheme selection and the hardware profile.
+* :class:`repro.core.logecmem.LogECMem` -- the store itself: write, read,
+  degraded read, update, delete (§4), multi-chunk-failure repair and node
+  repair with/without log-assist (§5).
+"""
+
+from repro.core.config import StoreConfig
+from repro.core.interface import KVStore, OpResult
+from repro.core.logecmem import LogECMem
+
+__all__ = ["KVStore", "LogECMem", "OpResult", "StoreConfig"]

@@ -1,0 +1,166 @@
+"""Popularity-aware HybridPL (the paper's §9 future work).
+
+    "We also plan to re-organize HybridPL's architecture to proactively
+    identify the popularity of incoming data for better update efficiency."
+
+This module implements that plan as :class:`AdaptiveLogECMem`: the proxy
+tracks per-object update popularity and, for *hot* objects, coalesces the
+log-bound data deltas in a small proxy-side buffer instead of broadcasting
+each one.  Consecutive deltas to the same (stripe, data chunk) merge by
+Property 2, so a hot object updated n times inside the window ships one
+merged delta instead of n -- fewer log-node messages, fewer buffered records,
+fewer disk IOs.
+
+Consistency is preserved:
+
+* data chunks and the XOR parity are still updated in place on every update,
+  so single-failure repairs never see stale state;
+* multi-failure repairs fold the proxy's pending deltas on top of whatever
+  the log nodes materialise (the proxy knows exactly what it has not shipped);
+* ``finalize``/eviction flushes everything, so settled state equals plain
+  LogECMem's bit-for-bit (the scrubber asserts this in tests).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.config import StoreConfig
+from repro.core.interface import OpResult
+from repro.core.logecmem import LogECMem
+from repro.ec.delta import ParityDelta
+from repro.ec.gf256 import gf_mul_scalar
+from repro.logstore.records import LogRecord
+
+
+class AdaptiveLogECMem(LogECMem):
+    """LogECMem with popularity-driven proxy-side delta coalescing."""
+
+    name = "adaptive-logecmem"
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        hot_threshold: int = 3,
+        coalesce_updates: int = 8,
+        pending_capacity: int = 256,
+    ):
+        """``hot_threshold``: updates seen before a key counts as hot;
+        ``coalesce_updates``: merged deltas shipped after this many folds;
+        ``pending_capacity``: max coalesced entries held at the proxy."""
+        super().__init__(config)
+        self.hot_threshold = int(hot_threshold)
+        self.coalesce_updates = int(coalesce_updates)
+        self.pending_capacity = int(pending_capacity)
+        self.popularity: Counter[str] = Counter()
+        #: (stripe_id, seq) -> [merged physical delta, offset, folds]
+        self._pending_deltas: dict[tuple[int, int], list] = {}
+        self.coalesced_updates = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------ update
+
+    def _update_impl(self, key: str, tombstone: bool) -> OpResult:
+        cfg = self.cfg
+        sid, seq, node_id, chunk, slot = self._locate(key)
+        self.popularity[key] += 1
+        hot = self.popularity[key] >= self.hot_threshold
+        if sid is None or tombstone or not hot:
+            return super()._update_impl(key, tombstone)
+        self._require_update_nodes(key, sid, node_id)
+
+        # hot path: in-place data + XOR parity update, delta coalesced locally
+        new_version = self.versions[key] + 1
+        new_value = self._new_value(key, new_version)
+        old = chunk.read_slot(slot).copy()
+        delta = old ^ new_value
+        latency = self.net.client_hop(64 + cfg.value_size)
+        latency += self.net.sequential_gets([cfg.value_size, cfg.chunk_size])
+        latency += cfg.profile.encode_s(2 * cfg.value_size)
+        self.counters.add("parity_chunk_reads")
+        chunk.write_slot(slot, new_value)
+        xor = self.parity_chunks[(sid, 0)]
+        xor[slot.phys_offset : slot.phys_end] ^= delta
+        self._set_checksum(sid, seq, chunk.buffer)
+        self._set_checksum(sid, cfg.k, xor)
+        latency += self.net.parallel_puts([cfg.value_size, cfg.chunk_size])
+
+        entry = self._pending_deltas.get((sid, seq))
+        if entry is None:
+            if len(self._pending_deltas) >= self.pending_capacity:
+                latency += self._flush_all()
+            buf = np.zeros(chunk.physical_size, dtype=np.uint8)
+            entry = [buf, slot.phys_offset, 0]
+            self._pending_deltas[(sid, seq)] = entry
+        entry[0][slot.phys_offset : slot.phys_end] ^= delta
+        entry[1] = min(entry[1], slot.phys_offset)
+        entry[2] += 1
+        self.coalesced_updates += 1
+        self.counters.add("coalesced_updates")
+        if entry[2] >= self.coalesce_updates:
+            latency += self._flush_entry(sid, seq)
+        self.versions[key] = new_version
+        return OpResult(latency_s=latency)
+
+    # ------------------------------------------------------------------- flush
+
+    def _flush_entry(self, sid: int, seq: int) -> float:
+        """Ship one coalesced delta to the stripe's log nodes."""
+        entry = self._pending_deltas.pop((sid, seq), None)
+        if entry is None:
+            return 0.0
+        cfg = self.cfg
+        buf, _, folds = entry
+        nz = np.nonzero(buf)[0]
+        if nz.size == 0:
+            return 0.0  # deltas cancelled out entirely
+        lo, hi = int(nz[0]), int(nz[-1]) + 1
+        payload = buf[lo:hi]
+        logical = max(1, round(payload.size / cfg.payload_scale))
+        rec = self.stripe_index.get(sid)
+        log_parity_nodes = rec.chunk_nodes[cfg.k + 1 :]
+        latency = self.net.parallel_puts([logical] * len(log_parity_nodes))
+        now = self.cluster.clock.now
+        stall = 0.0
+        for j, nid in enumerate(log_parity_nodes, start=1):
+            coeff = self.code.coefficient(j, seq)
+            pd = ParityDelta(
+                stripe_id=sid,
+                parity_index=j,
+                offset=lo,
+                payload=gf_mul_scalar(coeff, payload),
+            )
+            stall = max(
+                stall,
+                self.cluster.log_nodes[nid].append(LogRecord.for_delta(pd, logical), now),
+            )
+            self.counters.add("parity_deltas_sent")
+        self.flushes += 1
+        self.counters.add("coalesce_flushes")
+        return latency + stall
+
+    def _flush_all(self) -> float:
+        total = 0.0
+        for sid, seq in sorted(self._pending_deltas):
+            total += self._flush_entry(sid, seq)
+        return total
+
+    # ------------------------------------------------------------------ repair
+
+    def _fetch_logged_parities(self, sid, needed, exclude):
+        """Fold un-shipped deltas on top of the materialised parities."""
+        latency, out = super()._fetch_logged_parities(sid, needed, exclude)
+        for (psid, seq), entry in self._pending_deltas.items():
+            if psid != sid:
+                continue
+            buf = entry[0]
+            for gi, payload in out.items():
+                j = gi - self.cfg.k
+                payload ^= gf_mul_scalar(self.code.coefficient(j, seq), buf)
+        return latency, out
+
+    def finalize(self) -> None:
+        self._flush_all()
+        super().finalize()

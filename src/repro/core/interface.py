@@ -1,0 +1,72 @@
+"""The KV-store interface every system under test implements.
+
+Vanilla, (r+1)-way replication, IPMem, FSMem and LogECMem all expose the same
+five requests (§4.1) so the experiment drivers treat them uniformly.  Every
+operation returns an :class:`OpResult` carrying the simulated latency and,
+for reads, the object's physical bytes (so tests can verify reconstruction
+bit-exactly).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DataLossError(RuntimeError):
+    """Raised when too many chunks of a stripe are unavailable to decode."""
+
+
+@dataclass
+class OpResult:
+    """Outcome of one request."""
+
+    latency_s: float
+    value: np.ndarray | None = None
+    degraded: bool = False
+    info: dict = field(default_factory=dict)
+
+
+class KVStore(ABC):
+    """Uniform store API for the experiment harness."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def write(self, key: str) -> OpResult:
+        """Insert a new object (value bytes are deterministic per key+version)."""
+
+    @abstractmethod
+    def read(self, key: str) -> OpResult:
+        """Fetch an object's current value."""
+
+    @abstractmethod
+    def update(self, key: str) -> OpResult:
+        """Overwrite an existing object with a new version."""
+
+    @abstractmethod
+    def delete(self, key: str) -> OpResult:
+        """Remove an object (§4.1: realised as an update to zero bytes)."""
+
+    @abstractmethod
+    def degraded_read(self, key: str) -> OpResult:
+        """Fetch an object whose chunk/replica is unavailable."""
+
+    # -- metrics ----------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def memory_logical_bytes(self) -> int:
+        """Total DRAM footprint (the paper's memory-overhead metric)."""
+
+    def finalize(self) -> None:
+        """End-of-run settling (flush logs, deferred GC cost accounting)."""
+
+    def expected_value(self, key: str) -> np.ndarray:
+        """Ground-truth physical bytes of an object's current version.
+
+        Implemented by stores that track versions; used by tests to check
+        degraded reads and repairs bit-exactly."""
+        raise NotImplementedError

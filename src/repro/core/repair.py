@@ -1,0 +1,163 @@
+"""Failure repair for LogECMem (§5).
+
+* Multi-chunk-failure degraded reads are part of
+  :meth:`repro.core.striped.StripedStoreBase.degraded_read` (they escalate to
+  logged parities); Experiment 6 drives them directly.
+* This module implements whole-node repair (§5.3).  The prototype repairs a
+  node by running one degraded read per lost chunk -- k synchronous chunk
+  GETs -- across a configurable number of parallel repair streams.  With
+  **log-assist**, each stripe substitutes one logged parity for one DRAM
+  chunk: the log nodes *pre-repair* their up-to-date parities during the
+  failure-detection window (§3.1's 30-minute trigger time) using otherwise
+  idle disk/NIC bandwidth, so at repair time the parity arrives in parallel
+  with the k-1 serial DRAM GETs and drops one GET from every stripe's
+  critical path.  The gain is therefore ~k/(k-1), largest for small k --
+  matching Figure 15's trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interface import DataLossError
+from repro.core.logecmem import LogECMem
+
+
+@dataclass
+class NodeRepairResult:
+    """Outcome of repairing one failed DRAM node."""
+
+    node_id: str
+    repair_time_s: float
+    stripes_repaired: int
+    chunks_repaired: int
+    bytes_repaired: int            # logical bytes rebuilt onto the new node
+    log_assisted_stripes: int      # stripes that pulled a parity from a log node
+    dram_chunk_fetches: int
+    log_parity_fetches: int
+    #: disk seconds the log nodes spent pre-repairing parities (must fit in
+    #: the detection window; recorded for the ablation/report)
+    log_prepair_s: float = 0.0
+    detection_window_s: float = 30 * 60
+
+    @property
+    def throughput_GiB_per_min(self) -> float:
+        if self.repair_time_s <= 0:
+            return 0.0
+        return (self.bytes_repaired / (1 << 30)) / (self.repair_time_s / 60.0)
+
+
+def repair_node(
+    store: LogECMem,
+    node_id: str,
+    log_assist: bool = True,
+    streams: int = 64,
+    foreground_utilisation: float = 0.0,
+) -> NodeRepairResult:
+    """Rebuild every chunk the failed DRAM node held (§5.3).
+
+    The node must already be failed (``store.cluster.kill``).  Log buffers
+    are settled first so logged parities are readable from disk state.
+    ``streams`` is the number of stripe repairs in flight concurrently (wall
+    time scales with 1/streams for both modes equally).
+
+    ``foreground_utilisation`` models §5.3's congestion concern: the
+    surviving DRAM nodes "need to provide continuous service via the proxy",
+    so a fraction of their NIC capacity is unavailable to repair GETs (which
+    slow down by 1/(1-u)).  Log-node bandwidth "is only served for writes
+    and updates of parity chunks" and stays free -- which is exactly why
+    log-assist grows more valuable under load.
+    """
+    cfg = store.cfg
+    cluster = store.cluster
+    if node_id not in cluster.dram_nodes:
+        raise KeyError(f"{node_id!r} is not a DRAM node")
+    if cluster.dram_nodes[node_id].alive:
+        raise ValueError(f"node {node_id!r} is alive; kill it before repairing")
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1, got {streams}")
+    if not 0 <= foreground_utilisation < 1:
+        raise ValueError(
+            f"foreground utilisation must be in [0, 1), got {foreground_utilisation}"
+        )
+    cluster.settle_logs()
+
+    p = cfg.profile
+    chunk = cfg.chunk_size
+    # one synchronous chunk GET on the repair path (same cost model as
+    # NetworkModel.sequential_gets, without polluting run counters); the
+    # foreground share of DRAM NIC capacity inflates it
+    get_s = (
+        p.rtt_s + p.transfer_s(64 + chunk) + p.rpc_overhead_s + p.node_service_s
+    ) / (1.0 - foreground_utilisation)
+    decode_s = p.encode_s(cfg.k * chunk)
+
+    stripes = store.stripe_index.stripes_on_node(node_id)
+    serial_s = 0.0
+    chunks = 0
+    assisted = 0
+    dram_fetches = 0
+    log_fetches = 0
+    prepair_s = 0.0
+    now = cluster.clock.now
+
+    for sid in stripes:
+        rec = store.stripe_index.get(sid)
+        lost = rec.chunks_on_node(node_id)
+        alive_logged = [
+            j
+            for j in range(1, cfg.r)
+            if cluster.log_nodes.get(rec.chunk_nodes[cfg.k + j], None) is not None
+            and cluster.log_nodes[rec.chunk_nodes[cfg.k + j]].alive
+        ]
+        for gi in lost:
+            dram_survivors = sum(
+                1
+                for i in range(cfg.k + 1)
+                if i != gi
+                and rec.chunk_nodes[i] in cluster.dram_nodes
+                and cluster.dram_nodes[rec.chunk_nodes[i]].alive
+            )
+            if dram_survivors + len(alive_logged) < cfg.k:
+                raise DataLossError(
+                    f"stripe {sid}: cannot gather k={cfg.k} chunks to repair {gi}"
+                )
+            use_assist = log_assist and alive_logged and dram_survivors >= cfg.k - 1
+            if use_assist:
+                j = alive_logged[0]
+                nid = rec.chunk_nodes[cfg.k + j]
+                node = cluster.log_nodes[nid]
+                # pre-repair: the log node materialises the parity ahead of
+                # time; its disk cost happened inside the detection window
+                region = node.scheme.region(sid, j)
+                region_bytes = max(chunk, region.logical_bytes)
+                prepair_s += (
+                    p.disk_io_overhead_s + region_bytes / p.disk_seq_bandwidth_Bps
+                )
+                # parity transfer overlaps the k-1 serial DRAM GETs
+                parity_s = p.rtt_s + p.transfer_s(64 + chunk) + p.node_service_s
+                serial_s += max((cfg.k - 1) * get_s, parity_s) + decode_s
+                assisted += 1
+                dram_fetches += cfg.k - 1
+                log_fetches += 1
+            else:
+                serial_s += cfg.k * get_s + decode_s
+                dram_fetches += cfg.k
+            chunks += 1
+
+    repair_time = serial_s / streams
+    store.counters.add("node_repairs")
+    store.counters.add("node_repair_chunks", chunks)
+    result = NodeRepairResult(
+        node_id=node_id,
+        repair_time_s=repair_time,
+        stripes_repaired=len(stripes),
+        chunks_repaired=chunks,
+        bytes_repaired=chunks * chunk,
+        log_assisted_stripes=assisted,
+        dram_chunk_fetches=dram_fetches,
+        log_parity_fetches=log_fetches,
+        log_prepair_s=prepair_s,
+    )
+    cluster.clock.advance_to(now + repair_time)
+    return result

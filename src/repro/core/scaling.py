@@ -1,0 +1,142 @@
+"""Cluster scaling: DRAM node join and decommission.
+
+The paper's lineage (ECHash, by the same first author) couples consistent
+hashing with erasure coding so the cluster can grow and shrink.  LogECMem's
+layout makes both operations cheap on the parity side -- parity placement is
+per-stripe metadata, not hash-derived -- so:
+
+* **join**: the new node enters the hash ring and the encoding-queue set;
+  new stripes start using it immediately.  No existing stripe moves (the
+  Stripe Index pins old placements), so join is metadata-only.
+* **decommission** (planned removal, §8's scaling case): every chunk the
+  node holds is *copied* -- not reconstructed -- to a replacement DRAM node
+  that holds no other chunk of the same stripe, preserving the one-chunk-
+  per-node fault-tolerance invariant; then the node leaves the ring.
+
+Costs are charged through the network model (chunk reads + writes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cluster.node import DRAMNode
+from repro.core.striped import StripedStoreBase
+
+
+@dataclass
+class ScaleReport:
+    """Outcome of one join or decommission."""
+
+    node_id: str
+    chunks_moved: int
+    bytes_moved: int
+    duration_s: float
+
+
+def add_dram_node(store: StripedStoreBase, node_id: str | None = None) -> ScaleReport:
+    """Join a fresh DRAM node: ring + encoding queue; metadata-only."""
+    cluster = store.cluster
+    if node_id is None:
+        i = len(cluster.dram_nodes)
+        while f"dram{i}" in cluster.dram_nodes:
+            i += 1
+        node_id = f"dram{i}"
+    if node_id in cluster.dram_nodes or node_id in cluster.log_nodes:
+        raise ValueError(f"node id {node_id!r} already exists")
+    cluster.dram_nodes[node_id] = DRAMNode(node_id)
+    cluster.ring.add_node(node_id)
+    store._full_units[node_id] = deque()
+    store.counters.add("nodes_joined")
+    return ScaleReport(node_id=node_id, chunks_moved=0, bytes_moved=0, duration_s=0.0)
+
+
+def decommission_dram_node(store: StripedStoreBase, node_id: str) -> ScaleReport:
+    """Planned removal of a live DRAM node.
+
+    Chunks are copied to per-stripe replacement nodes; the Object/Stripe
+    indices and memory accounting follow; pending (unsealed) objects queued
+    on the node are re-queued elsewhere.  Raises if the node is dead (use
+    :func:`repro.core.repair.repair_node` for failures) or if no valid
+    replacement exists for some stripe.
+    """
+    cluster = store.cluster
+    node = cluster.dram_nodes.get(node_id)
+    if node is None:
+        raise KeyError(f"{node_id!r} is not a DRAM node")
+    if not node.alive:
+        raise ValueError(f"{node_id!r} is dead; decommission needs a live source")
+    if len(cluster.dram_nodes) <= store.cfg.k + 1:
+        raise ValueError("cannot shrink below k+1 DRAM nodes")
+    cfg = store.cfg
+    duration = 0.0
+    moved = 0
+
+    # re-home sealed chunks, stripe by stripe
+    for sid in list(store.stripe_index.stripes_on_node(node_id)):
+        rec = store.stripe_index.get(sid)
+        for gi in rec.chunks_on_node(node_id):
+            if gi >= cfg.k + 1:
+                continue  # logged parities never live on DRAM nodes
+            candidates = [
+                nid
+                for nid in cluster.dram_ids()
+                if nid != node_id
+                and cluster.dram_nodes[nid].alive
+                and nid not in rec.chunk_nodes
+            ]
+            if not candidates:
+                raise RuntimeError(
+                    f"stripe {sid}: no replacement node for chunk {gi} "
+                    f"without violating one-chunk-per-node"
+                )
+            target = candidates[sid % len(candidates)]
+            # copy chunk bytes source -> target (read + write, one round each)
+            duration += store.net.sequential_gets([cfg.chunk_size])
+            duration += store.net.parallel_puts([cfg.chunk_size])
+            moved += 1
+            # move the accounting items
+            if gi < cfg.k:
+                for key in rec.chunk_keys[gi]:
+                    item = node.table.get(key)
+                    if item is not None:
+                        node.table.delete(key)
+                        cluster.dram_nodes[target].table.set(key, item.logical_size)
+            else:  # the XOR parity item
+                pkey = f"stripe:{sid}:p0"
+                if node.table.get(pkey) is not None:
+                    node.table.delete(pkey)
+                    cluster.dram_nodes[target].table.set(pkey, cfg.chunk_size)
+            rec.chunk_nodes[gi] = target
+        # refresh the reverse index for this stripe
+        store.stripe_index.remove(sid)
+        store.stripe_index.put(rec)
+
+    # re-queue pending (unsealed) objects that sat on this node
+    for key, (pnode, unit, slot) in list(store._pending.items()):
+        if pnode != node_id:
+            continue
+        value = unit.read_slot(slot).copy()
+        item = node.table.get(key)
+        if item is not None:
+            node.table.delete(key)
+        store._pending.pop(key, None)
+        new_node = store.cluster.ring.lookup_many(key, 2)
+        target = next(n for n in new_node if n != node_id)
+        store._enqueue(key, target, value)
+        cluster.dram_nodes[target].table.set(key, cfg.value_size)
+        duration += store.net.sequential_gets([cfg.value_size])
+        duration += store.net.parallel_puts([cfg.value_size])
+
+    cluster.ring.remove_node(node_id)
+    store._full_units.pop(node_id, None)
+    store._open_units.pop(node_id, None)
+    del cluster.dram_nodes[node_id]
+    store.counters.add("nodes_decommissioned")
+    return ScaleReport(
+        node_id=node_id,
+        chunks_moved=moved,
+        bytes_moved=moved * cfg.chunk_size,
+        duration_s=duration,
+    )

@@ -1,0 +1,73 @@
+"""Matrix algebra over GF(2^8).
+
+Provides the matrix product used for encoding, and Gauss-Jordan inversion
+used when decoding a stripe from an arbitrary surviving subset of chunks.
+Matrices are ``uint8`` ndarrays; there is no overflow because every product
+goes through the field tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.gf256 import GF_INV_TABLE, GF_MUL_TABLE
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a decode matrix is not invertible over GF(2^8)."""
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product ``a @ b`` over GF(2^8).
+
+    ``a`` is (m, n), ``b`` is (n, p).  Implemented as a sum (XOR-reduce) of
+    table-gathered outer slices, so the inner loop runs in NumPy, not Python.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    m, n = a.shape
+    p = b.shape[1]
+    out = np.zeros((m, p), dtype=np.uint8)
+    for i in range(n):
+        # outer product of column a[:, i] with row b[i, :]
+        out ^= GF_MUL_TABLE[a[:, i][:, None], b[i, :][None, :]]
+    return out
+
+
+def gf_matvec(mat: np.ndarray, vecs: np.ndarray) -> np.ndarray:
+    """Apply ``mat`` (m, n) to ``n`` stacked byte buffers ``vecs`` (n, L).
+
+    This is chunk encoding: each output row ``i`` is
+    ``XOR_j mat[i, j] * vecs[j]``.  Identical to :func:`gf_matmul` but kept
+    separate (and named for its role) because it is the per-request hot path.
+    """
+    return gf_matmul(mat, vecs)
+
+
+def gf_matinv(mat: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises :class:`SingularMatrixError` if the matrix has no inverse.
+    """
+    mat = np.asarray(mat, dtype=np.uint8)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"matrix must be square, got {mat.shape}")
+    n = mat.shape[0]
+    aug = np.concatenate([mat.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        # Find a pivot (any nonzero entry; no magnitude concerns in GF).
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise SingularMatrixError("matrix is singular over GF(2^8)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv_p = GF_INV_TABLE[aug[col, col]]
+        aug[col] = GF_MUL_TABLE[inv_p][aug[col]]
+        # Eliminate the column from every other row in one vectorised pass.
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        aug ^= GF_MUL_TABLE[factors[:, None], aug[col][None, :]]
+    return aug[:, n:].copy()

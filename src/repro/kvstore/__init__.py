@@ -1,0 +1,27 @@
+"""In-memory key-value substrate (the Memcached stand-in).
+
+* :mod:`repro.kvstore.memtable` -- a hash-table KV store with per-item and
+  aggregate memory accounting (logical bytes, i.e. what a real memcached
+  instance would consume, independent of the scaled physical payloads).
+* :mod:`repro.kvstore.chunk` -- fixed-size data/parity chunk buffers with a
+  logical/physical byte split and first-fit object packing (§4.1's encoding
+  queues gather small objects into 4 KiB units).
+* :mod:`repro.kvstore.object_index` / :mod:`repro.kvstore.stripe_index` --
+  the proxy metadata structures of §3.2.
+"""
+
+from repro.kvstore.memtable import MemTable, StoredItem
+from repro.kvstore.chunk import Chunk, ChunkSlot
+from repro.kvstore.object_index import ObjectIndex, ObjectLocation
+from repro.kvstore.stripe_index import StripeIndex, StripeRecord
+
+__all__ = [
+    "Chunk",
+    "ChunkSlot",
+    "MemTable",
+    "ObjectIndex",
+    "ObjectLocation",
+    "StoredItem",
+    "StripeIndex",
+    "StripeRecord",
+]

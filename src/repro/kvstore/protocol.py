@@ -1,0 +1,194 @@
+"""Memcached text protocol (the wire format the prototype builds on, §6.1).
+
+Implements the classic ASCII protocol subset LogECMem's proxy exercises
+through libmemcached: ``set``, ``get``/``gets``, ``delete``, ``cas``,
+``touch``-free expiry semantics omitted (the paper's store never expires).
+
+Two halves:
+
+* codec functions (:func:`encode_command`, :func:`parse_command`,
+  :func:`encode_response`, :func:`parse_response`) -- pure byte-level
+  round-trippable encoders/decoders,
+* :class:`MemcachedServer` -- a command interpreter over a
+  :class:`~repro.kvstore.memtable.MemTable`, with CAS token semantics.
+
+This layer is deliberately independent of the simulation: it operates on
+real bytes and is what a socket front-end would speak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kvstore.memtable import MemTable
+
+CRLF = b"\r\n"
+MAX_KEY_LEN = 250
+
+
+class ProtocolError(ValueError):
+    """Malformed command or response line."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One parsed client command."""
+
+    verb: str
+    key: str
+    flags: int = 0
+    value: bytes = b""
+    cas_token: int | None = None
+
+
+def _check_key(key: str) -> str:
+    if not key or len(key) > MAX_KEY_LEN or any(c in key for c in " \r\n\t"):
+        raise ProtocolError(f"illegal key {key!r}")
+    return key
+
+
+def encode_command(cmd: Command) -> bytes:
+    """Serialise a command to protocol bytes."""
+    _check_key(cmd.key)
+    if cmd.verb == "set":
+        head = f"set {cmd.key} {cmd.flags} 0 {len(cmd.value)}".encode()
+        return head + CRLF + cmd.value + CRLF
+    if cmd.verb == "cas":
+        if cmd.cas_token is None:
+            raise ProtocolError("cas needs a token")
+        head = f"cas {cmd.key} {cmd.flags} 0 {len(cmd.value)} {cmd.cas_token}".encode()
+        return head + CRLF + cmd.value + CRLF
+    if cmd.verb in ("get", "gets"):
+        return f"{cmd.verb} {cmd.key}".encode() + CRLF
+    if cmd.verb == "delete":
+        return f"delete {cmd.key}".encode() + CRLF
+    raise ProtocolError(f"unknown verb {cmd.verb!r}")
+
+
+def parse_command(data: bytes) -> tuple[Command, bytes]:
+    """Parse one command off the front of ``data``; returns (command, rest)."""
+    nl = data.find(CRLF)
+    if nl < 0:
+        raise ProtocolError("no complete command line")
+    line = data[:nl].decode("ascii", errors="strict")
+    rest = data[nl + 2 :]
+    parts = line.split(" ")
+    verb = parts[0]
+    if verb in ("get", "gets", "delete"):
+        if len(parts) != 2:
+            raise ProtocolError(f"bad {verb} line: {line!r}")
+        return Command(verb=verb, key=_check_key(parts[1])), rest
+    if verb in ("set", "cas"):
+        want = 5 if verb == "set" else 6
+        if len(parts) != want:
+            raise ProtocolError(f"bad {verb} line: {line!r}")
+        key = _check_key(parts[1])
+        try:
+            flags, _exptime, nbytes = int(parts[2]), int(parts[3]), int(parts[4])
+            token = int(parts[5]) if verb == "cas" else None
+        except ValueError as exc:
+            raise ProtocolError(f"bad numeric field in {line!r}") from exc
+        if len(rest) < nbytes + 2 or rest[nbytes : nbytes + 2] != CRLF:
+            raise ProtocolError("value block truncated or unterminated")
+        value = rest[:nbytes]
+        return (
+            Command(verb=verb, key=key, flags=flags, value=value, cas_token=token),
+            rest[nbytes + 2 :],
+        )
+    raise ProtocolError(f"unknown verb {verb!r}")
+
+
+def encode_value_response(key: str, flags: int, value: bytes, cas: int | None = None) -> bytes:
+    """A VALUE block followed by END."""
+    if cas is None:
+        head = f"VALUE {key} {flags} {len(value)}".encode()
+    else:
+        head = f"VALUE {key} {flags} {len(value)} {cas}".encode()
+    return head + CRLF + value + CRLF + b"END" + CRLF
+
+
+def parse_value_response(data: bytes) -> tuple[str, int, bytes, int | None] | None:
+    """Parse a VALUE/END response; None for a bare END (miss)."""
+    if data == b"END" + CRLF:
+        return None
+    nl = data.find(CRLF)
+    if nl < 0 or not data.startswith(b"VALUE "):
+        raise ProtocolError("malformed value response")
+    parts = data[:nl].decode().split(" ")
+    if len(parts) not in (4, 5):
+        raise ProtocolError("malformed VALUE header")
+    key, flags, nbytes = parts[1], int(parts[2]), int(parts[3])
+    cas = int(parts[4]) if len(parts) == 5 else None
+    body = data[nl + 2 :]
+    if body[nbytes : nbytes + 2] != CRLF or not body.endswith(b"END" + CRLF):
+        raise ProtocolError("malformed value body")
+    return key, flags, body[:nbytes], cas
+
+
+class MemcachedServer:
+    """Command interpreter over one MemTable, with CAS tokens."""
+
+    def __init__(self, table: MemTable | None = None):
+        self.table = table if table is not None else MemTable()
+        self._flags: dict[str, int] = {}
+        self._cas: dict[str, int] = {}
+        self._next_cas = 1
+
+    def execute(self, cmd: Command) -> bytes:
+        """Run one command; returns the protocol response bytes."""
+        handler = getattr(self, f"_do_{cmd.verb}", None)
+        if handler is None:
+            return b"ERROR" + CRLF
+        return handler(cmd)
+
+    def handle(self, data: bytes) -> bytes:
+        """Parse-and-run every command in ``data``; concatenated responses."""
+        out = b""
+        while data:
+            cmd, data = parse_command(data)
+            out += self.execute(cmd)
+        return out
+
+    # -- verbs ------------------------------------------------------------
+
+    def _store(self, cmd: Command) -> None:
+        self.table.set(cmd.key, len(cmd.value), payload=cmd.value)
+        self._flags[cmd.key] = cmd.flags
+        self._cas[cmd.key] = self._next_cas
+        self._next_cas += 1
+
+    def _do_set(self, cmd: Command) -> bytes:
+        self._store(cmd)
+        return b"STORED" + CRLF
+
+    def _do_cas(self, cmd: Command) -> bytes:
+        if cmd.key not in self.table:
+            return b"NOT_FOUND" + CRLF
+        if self._cas.get(cmd.key) != cmd.cas_token:
+            return b"EXISTS" + CRLF
+        self._store(cmd)
+        return b"STORED" + CRLF
+
+    def _do_get(self, cmd: Command) -> bytes:
+        item = self.table.get(cmd.key)
+        if item is None:
+            return b"END" + CRLF
+        return encode_value_response(
+            cmd.key, self._flags.get(cmd.key, 0), bytes(item.payload)
+        )
+
+    def _do_gets(self, cmd: Command) -> bytes:
+        item = self.table.get(cmd.key)
+        if item is None:
+            return b"END" + CRLF
+        return encode_value_response(
+            cmd.key, self._flags.get(cmd.key, 0), bytes(item.payload),
+            cas=self._cas.get(cmd.key, 0),
+        )
+
+    def _do_delete(self, cmd: Command) -> bytes:
+        if self.table.delete(cmd.key):
+            self._flags.pop(cmd.key, None)
+            self._cas.pop(cmd.key, None)
+            return b"DELETED" + CRLF
+        return b"NOT_FOUND" + CRLF

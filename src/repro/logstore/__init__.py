@@ -1,0 +1,58 @@
+"""Parity-log substrate: log-node buffers and on-disk layout schemes.
+
+The paper evaluates four ways a log node persists parity chunks and parity
+deltas (§5.1-§5.2):
+
+* **PL**    -- append-only parity logging: each buffer flush is one sequential
+  write, but a repair has to chase every delta with a random read.
+* **PLR**   -- parity logging with reserved space (CodFS): every record is
+  written into its stripe's reserved region (random writes), repair is one
+  sequential read.
+* **PLR-m** -- PLR plus merging of same-stripe deltas in memory right before
+  flushing.
+* **PLM**   -- the paper's scheme: flush the whole buffer sequentially into a
+  staging extent, lazily read it back, merge across flushes, and write merged
+  deltas into reserved regions.
+
+All four maintain real physical parity bytes so repairs are verified
+bit-exactly, and all disk costs/IO counts flow through
+:class:`repro.sim.disk.DiskModel`.
+"""
+
+from repro.logstore.records import LogRecord
+from repro.logstore.buffer import LogBuffer
+from repro.logstore.base import LogScheme, ParityReadResult
+from repro.logstore.pl import AppendOnlyPL
+from repro.logstore.plr import ReservedSpacePLR
+from repro.logstore.plrm import MergingPLRm
+from repro.logstore.plm import LazyMergePLM
+
+SCHEMES = {
+    "pl": AppendOnlyPL,
+    "plr": ReservedSpacePLR,
+    "plr-m": MergingPLRm,
+    "plm": LazyMergePLM,
+}
+
+
+def make_scheme(name: str, disk, bytes_scale: float = 1.0) -> LogScheme:
+    """Instantiate a log scheme by its paper name (pl, plr, plr-m, plm)."""
+    try:
+        cls = SCHEMES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown log scheme {name!r}; choose from {sorted(SCHEMES)}")
+    return cls(disk, bytes_scale=bytes_scale)
+
+
+__all__ = [
+    "AppendOnlyPL",
+    "LazyMergePLM",
+    "LogBuffer",
+    "LogRecord",
+    "LogScheme",
+    "MergingPLRm",
+    "ParityReadResult",
+    "ReservedSpacePLR",
+    "SCHEMES",
+    "make_scheme",
+]

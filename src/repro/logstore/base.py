@@ -1,0 +1,146 @@
+"""Log-scheme interface and shared on-disk state.
+
+A scheme owns the *persisted* state of one log node: for every
+(stripe, parity) pair, the base parity chunk (if flushed yet) and the parity
+deltas that have reached disk.  Schemes differ in how flushes map to disk IOs
+and in what a repair read costs; the reconstructed bytes are identical across
+schemes (tests assert this).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ec.delta import ParityDelta
+from repro.logstore.records import LogRecord
+from repro.sim.disk import DiskModel
+
+
+@dataclass
+class ReservedRegion:
+    """Persisted records of one (stripe, parity) pair."""
+
+    base: np.ndarray | None = None
+    base_logical: int = 0
+    deltas: list[ParityDelta] = field(default_factory=list)
+    delta_logical: list[int] = field(default_factory=list)
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.base_logical + sum(self.delta_logical)
+
+    def apply(self, record: LogRecord) -> None:
+        """Fold one flushed record into the persisted state."""
+        if record.is_chunk:
+            self.base = record.chunk.copy()
+            self.base_logical = record.logical_nbytes
+        else:
+            self.deltas.append(record.delta)
+            self.delta_logical.append(record.logical_nbytes)
+
+    def materialise(self, phys_size: int) -> np.ndarray:
+        """Up-to-date parity bytes from persisted state only."""
+        chunk = (
+            self.base.copy() if self.base is not None else np.zeros(phys_size, dtype=np.uint8)
+        )
+        for d in self.deltas:
+            chunk[d.offset : d.end] ^= d.payload
+        return chunk
+
+
+def region_extents(region: ReservedRegion, reserve_bytes: int) -> int:
+    """How many disjoint disk extents hold this region's state.
+
+    The base chunk plus ``reserve_bytes`` of deltas are contiguous; further
+    delta bytes spill into chained extents of the same size, each adding a
+    positioning cost on the repair path.  ``reserve_bytes <= 0`` means an
+    unbounded reserve (one extent)."""
+    if reserve_bytes <= 0:
+        return 1
+    delta_bytes = sum(region.delta_logical)
+    overflow = max(0, delta_bytes - reserve_bytes)
+    if overflow == 0:
+        return 1
+    return 1 + -(-overflow // reserve_bytes)  # ceil division
+
+
+@dataclass
+class ParityReadResult:
+    """Outcome of reading one up-to-date parity chunk from disk."""
+
+    duration_s: float
+    payload: np.ndarray
+    disk_reads: int
+    logical_bytes_read: int
+    has_base: bool
+
+
+class LogScheme(ABC):
+    """Flush/repair policy of a log node's disk."""
+
+    name: str = "abstract"
+
+    def __init__(self, disk: DiskModel, bytes_scale: float = 1.0):
+        #: cost model + IO statistics for this node's disk
+        self.disk = disk
+        #: logical bytes per physical byte (payload-scale compensation)
+        self.bytes_scale = float(bytes_scale)
+        self.regions: dict[tuple[int, int], ReservedRegion] = {}
+        self.flushes = 0
+
+    def region(self, stripe_id: int, parity_index: int) -> ReservedRegion:
+        return self.regions.setdefault((stripe_id, parity_index), ReservedRegion())
+
+    @abstractmethod
+    def flush(self, records: list[LogRecord], now: float) -> float:
+        """Persist drained buffer records; returns the IO service duration."""
+
+    @abstractmethod
+    def read_parity(
+        self, stripe_id: int, parity_index: int, phys_size: int, now: float
+    ) -> ParityReadResult:
+        """Read the up-to-date persisted parity chunk (repair path)."""
+
+    def settle(self, now: float) -> float:
+        """Finish any deferred background work (default: nothing)."""
+        return 0.0
+
+    def drop(self, stripe_id: int, parity_index: int) -> None:
+        """Release a (stripe, parity)'s persisted state (stripe GC'd)."""
+        self.regions.pop((stripe_id, parity_index), None)
+
+    @property
+    def disk_logical_bytes(self) -> int:
+        """Live logical bytes this scheme occupies on disk.
+
+        Reserved-space layouts hold exactly their regions' bytes; PL's
+        append-only log and PLM's staging extent override this to account
+        for their extra on-disk footprint (the "stored chunks" dimension of
+        Figure 1)."""
+        return sum(r.logical_bytes for r in self.regions.values())
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _apply_all(self, records: list[LogRecord]) -> None:
+        for rec in records:
+            self.region(rec.stripe_id, rec.parity_index).apply(rec)
+
+    def _read_region(self, region: ReservedRegion, now: float) -> tuple[float, int, int]:
+        """Charge the disk for reading one reserved region.
+
+        Returns (duration, disk reads, logical bytes).  With a bounded
+        reserve (``profile.plr_reserve_bytes``) spilled delta extents each
+        cost their own random read."""
+        extents = region_extents(region, self.disk.profile.plr_reserve_bytes)
+        logical = max(1, region.logical_bytes)
+        per = max(1, logical // extents)
+        duration = 0.0
+        remaining = logical
+        for i in range(extents):
+            nbytes = per if i < extents - 1 else max(1, remaining)
+            duration += self.disk.read(nbytes, sequential=False, now=now)
+            remaining -= nbytes
+        return duration, extents, logical

@@ -1,0 +1,114 @@
+"""PLM: parity logging with (lazy) merging -- the paper's scheme (§5.2).
+
+Flushes append the whole buffer to a continuous *staging* extent with one
+sequential write, like PL.  When the staging extent grows past a threshold,
+the node reads it back with one sequential read, merges records per
+(stripe, parity) *across all staged flushes* (a much wider merge window than
+PLR-m's single buffer), and writes each merged record into its reserved
+region.  Repairs read the reserved region sequentially plus any records still
+sitting in staging.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.logstore.base import LogScheme, ParityReadResult
+from repro.logstore.records import LogRecord, merge_records
+from repro.sim.disk import DiskModel
+
+
+class LazyMergePLM(LogScheme):
+    name = "plm"
+
+    def __init__(
+        self,
+        disk: DiskModel,
+        bytes_scale: float = 1.0,
+        staging_threshold_bytes: int | None = None,
+    ):
+        super().__init__(disk, bytes_scale=bytes_scale)
+        if staging_threshold_bytes is None:
+            staging_threshold_bytes = disk.profile.log_staging_threshold_bytes
+        self.staging_threshold_bytes = int(staging_threshold_bytes)
+        self._staging: list[LogRecord] = []
+        self._staging_bytes = 0
+        self.lazy_merges = 0
+
+    @property
+    def staging_bytes(self) -> int:
+        return self._staging_bytes
+
+    def flush(self, records: list[LogRecord], now: float) -> float:
+        if not records:
+            return 0.0
+        self.flushes += 1
+        total = sum(r.logical_nbytes for r in records)
+        dur = self.disk.write(total, sequential=True, now=now)
+        self._staging.extend(records)
+        self._staging_bytes += total
+        if self._staging_bytes >= self.staging_threshold_bytes:
+            dur += self._lazy_merge(now)
+        return dur
+
+    def _lazy_merge(self, now: float) -> float:
+        """Read staging back, merge per (stripe, parity), write reserved regions."""
+        if not self._staging:
+            return 0.0
+        self.lazy_merges += 1
+        dur = self.disk.read(self._staging_bytes, sequential=True, now=now)
+        groups: dict[tuple[int, int], list[LogRecord]] = defaultdict(list)
+        order: list[tuple[int, int]] = []
+        for rec in self._staging:
+            if rec.key not in groups:
+                order.append(rec.key)
+            groups[rec.key].append(rec)
+        for key in order:
+            merged = merge_records(groups[key])
+            dur += self.disk.write(merged.logical_nbytes, sequential=False, now=now)
+            self.region(*key).apply(merged)
+        self._staging.clear()
+        self._staging_bytes = 0
+        return dur
+
+    def settle(self, now: float) -> float:
+        return self._lazy_merge(now)
+
+    @property
+    def disk_logical_bytes(self) -> int:
+        return super().disk_logical_bytes + self._staging_bytes
+
+    def drop(self, stripe_id: int, parity_index: int) -> None:
+        super().drop(stripe_id, parity_index)
+        key = (stripe_id, parity_index)
+        kept = [r for r in self._staging if r.key != key]
+        if len(kept) != len(self._staging):
+            self._staging_bytes -= sum(
+                r.logical_nbytes for r in self._staging if r.key == key
+            )
+            self._staging = kept
+
+    def read_parity(
+        self, stripe_id: int, parity_index: int, phys_size: int, now: float
+    ) -> ParityReadResult:
+        region = self.region(stripe_id, parity_index)
+        duration, reads, logical = self._read_region(region, now)
+        # Records still in staging must be fetched too (random reads at known
+        # staging offsets), and folded on top of the reserved-region state.
+        staged = [r for r in self._staging if r.key == (stripe_id, parity_index)]
+        payload = region.materialise(phys_size)
+        for rec in staged:
+            duration += self.disk.read(rec.logical_nbytes, sequential=False, now=now)
+            reads += 1
+            logical += rec.logical_nbytes
+            if rec.is_chunk:
+                payload = rec.chunk.copy()
+            else:
+                payload[rec.delta.offset : rec.delta.end] ^= rec.delta.payload
+        return ParityReadResult(
+            duration_s=duration,
+            payload=payload,
+            disk_reads=reads,
+            logical_bytes_read=logical,
+            has_base=region.base is not None or any(r.is_chunk for r in staged),
+        )

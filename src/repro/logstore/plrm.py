@@ -1,0 +1,48 @@
+"""PLR-m: reserved space plus in-memory merging right before flushing (§5.2).
+
+Within one flush batch, records targeting the same (stripe, parity) pair are
+merged (Property 2) so only one random write per pair is issued.  Merging is
+limited to what happens to be co-resident in the buffer -- PLM relaxes that
+limit with a disk staging extent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.logstore.base import LogScheme, ParityReadResult
+from repro.logstore.records import LogRecord, merge_records
+
+
+class MergingPLRm(LogScheme):
+    name = "plr-m"
+
+    def flush(self, records: list[LogRecord], now: float) -> float:
+        if not records:
+            return 0.0
+        self.flushes += 1
+        groups: dict[tuple[int, int], list[LogRecord]] = defaultdict(list)
+        order: list[tuple[int, int]] = []
+        for rec in records:
+            if rec.key not in groups:
+                order.append(rec.key)
+            groups[rec.key].append(rec)
+        dur = 0.0
+        for key in order:
+            merged = merge_records(groups[key])
+            dur += self.disk.write(merged.logical_nbytes, sequential=False, now=now)
+            self.region(*key).apply(merged)
+        return dur
+
+    def read_parity(
+        self, stripe_id: int, parity_index: int, phys_size: int, now: float
+    ) -> ParityReadResult:
+        region = self.region(stripe_id, parity_index)
+        duration, reads, logical = self._read_region(region, now)
+        return ParityReadResult(
+            duration_s=duration,
+            payload=region.materialise(phys_size),
+            disk_reads=reads,
+            logical_bytes_read=logical,
+            has_base=region.base is not None,
+        )

@@ -1,0 +1,5 @@
+"""Reliability analysis: the MTTDL Markov model of §3.1 (Table 2)."""
+
+from repro.reliability.markov import MarkovModel, mttdl_years, table2
+
+__all__ = ["MarkovModel", "mttdl_years", "table2"]

@@ -1,0 +1,31 @@
+"""Deterministic performance-simulation substrate.
+
+The paper evaluates on an Amazon EC2 cluster (m5d.2xlarge instances, EBS log
+volumes).  We cannot run that testbed, so this package supplies the closest
+synthetic equivalent: a *cost model* that converts mechanistically-counted
+events (chunk transfers, RPCs, disk IOs, encode bytes) into time, plus
+busy-time accounting per resource for throughput estimates and an event queue
+for asynchronous log-buffer flushes.
+
+Nothing in here fabricates results: latencies are always derived from the
+actual data path executed by the stores in :mod:`repro.core` and
+:mod:`repro.baselines`.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.params import HardwareProfile
+from repro.sim.resources import Counters, Resource
+from repro.sim.network import NetworkModel
+from repro.sim.disk import DiskModel, DiskStats
+from repro.sim.events import EventQueue
+
+__all__ = [
+    "Counters",
+    "DiskModel",
+    "DiskStats",
+    "EventQueue",
+    "HardwareProfile",
+    "NetworkModel",
+    "Resource",
+    "SimClock",
+]

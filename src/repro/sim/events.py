@@ -1,0 +1,53 @@
+"""Tiny deterministic event queue for asynchronous work.
+
+Log-node buffer flushes complete in the background; the stores drain due
+events before serving each request so that buffer occupancy and disk backlog
+evolve consistently with simulated time.  Ordering ties are broken by a
+monotonically increasing sequence number, keeping runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float, callback: Callable[[float], None]) -> None:
+        """Run ``callback(fire_time)`` once simulated time reaches ``when``."""
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def next_time(self) -> float | None:
+        """Time of the earliest pending event, or None."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, now: float) -> int:
+        """Fire every event with time <= ``now``; returns how many fired."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= now:
+            when, _, callback = heapq.heappop(self._heap)
+            callback(when)
+            fired += 1
+        return fired
+
+    def drain(self) -> int:
+        """Fire everything regardless of time (end-of-run settling)."""
+        fired = 0
+        while self._heap:
+            when, _, callback = heapq.heappop(self._heap)
+            callback(when)
+            fired += 1
+        return fired
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,126 @@
+"""Network cost model.
+
+Latency of a message = one-way propagation (``rtt_s``) + wire time
+(bytes / bandwidth).  The two proxy behaviours the paper's prototype exhibits
+are modelled explicitly:
+
+* :meth:`NetworkModel.sequential_gets` -- libmemcached-style synchronous GETs,
+  one full round trip per chunk read.  This is why parity *reads* dominate
+  in-place update latency and why eliminating them (parity logging) pays.
+* :meth:`NetworkModel.parallel_puts` -- fan-out writes that share one round
+  trip; the proxy NIC serialises the outgoing payload bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.params import HardwareProfile
+from repro.sim.resources import Counters
+
+
+class NetworkModel:
+    """Latency/byte accounting for proxy-centred message exchanges."""
+
+    def __init__(self, profile: HardwareProfile, counters: Counters | None = None):
+        self.profile = profile
+        self.counters = counters if counters is not None else Counters()
+        self._jitter_rng = (
+            np.random.default_rng(profile.jitter_seed)
+            if profile.jitter_fraction > 0
+            else None
+        )
+
+    def _jitter(self, t: float) -> float:
+        """Multiplicative lognormal-ish jitter; identity when disabled."""
+        if self._jitter_rng is None:
+            return t
+        factor = 1.0 + self.profile.jitter_fraction * float(
+            self._jitter_rng.standard_normal()
+        )
+        return t * max(0.2, factor)
+
+    # -- primitives ---------------------------------------------------------
+
+    def one_way(self, nbytes: int) -> float:
+        """Latency of a single one-way message carrying ``nbytes``."""
+        p = self.profile
+        self.counters.add("net_messages")
+        self.counters.add("net_bytes", nbytes)
+        return self._jitter(p.rtt_s / 2 + p.transfer_s(nbytes))
+
+    def rpc(self, request_bytes: int, response_bytes: int) -> float:
+        """One synchronous request/response exchange."""
+        p = self.profile
+        self.counters.add("net_rpcs")
+        self.counters.add("net_messages", 2)
+        self.counters.add("net_bytes", request_bytes + response_bytes)
+        return self._jitter(
+            p.rtt_s + p.transfer_s(request_bytes + response_bytes) + p.rpc_overhead_s
+        )
+
+    # -- proxy access patterns ----------------------------------------------
+
+    def sequential_gets(self, sizes: list[int]) -> float:
+        """Synchronous GETs issued one after another (libmemcached pattern).
+
+        Each read pays a full round trip, the response wire time, the proxy's
+        per-RPC overhead, and the remote node's service time.
+        """
+        p = self.profile
+        total = 0.0
+        for nbytes in sizes:
+            total += self.rpc(64, nbytes) + p.node_service_s
+        self.counters.add("chunk_reads", len(sizes))
+        return total
+
+    def parallel_puts(self, sizes: list[int]) -> float:
+        """Fan-out writes sharing one round trip.
+
+        The proxy NIC serialises all outgoing payloads; remote service times
+        overlap, so one node-service term remains on the critical path.  One
+        per-RPC dispatch overhead is paid per destination (the proxy still
+        serialises sends into the kernel).
+        """
+        if not sizes:
+            return 0.0
+        p = self.profile
+        payload = sum(sizes)
+        self.counters.add("net_rpcs", len(sizes))
+        self.counters.add("net_messages", 2 * len(sizes))
+        self.counters.add("net_bytes", payload + 64 * len(sizes))
+        self.counters.add("chunk_writes", len(sizes))
+        return self._jitter(
+            p.rtt_s
+            + p.transfer_s(payload)
+            + p.rpc_overhead_s * len(sizes)
+            + p.node_service_s
+        )
+
+    def parallel_gets(self, sizes: list[int]) -> float:
+        """Fan-out reads sharing one round trip (used by node repair, which
+        batch-fetches whole stripes rather than issuing per-object GETs).
+
+        The *incoming* NIC serialises the response payloads.
+        """
+        if not sizes:
+            return 0.0
+        p = self.profile
+        payload = sum(sizes)
+        self.counters.add("net_rpcs", len(sizes))
+        self.counters.add("net_messages", 2 * len(sizes))
+        self.counters.add("net_bytes", payload + 64 * len(sizes))
+        self.counters.add("chunk_reads", len(sizes))
+        return self._jitter(
+            p.rtt_s
+            + p.transfer_s(payload)
+            + p.rpc_overhead_s * len(sizes)
+            + p.node_service_s
+        )
+
+    def client_hop(self, nbytes: int) -> float:
+        """Client <-> proxy round trip carrying ``nbytes`` total."""
+        p = self.profile
+        self.counters.add("net_messages", 2)
+        self.counters.add("net_bytes", nbytes)
+        return self._jitter(p.rtt_s + p.transfer_s(nbytes))

@@ -1,0 +1,54 @@
+"""Request-trace recording and replay.
+
+Experiments are deterministic per seed, but sharing the *exact* request
+stream (e.g. to replay one run against a modified store, or to diff two
+implementations) is easier with a serialised trace.  Traces round-trip
+through a compact text format: one ``op<TAB>key`` line per request.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.workloads.ycsb import Operation, Request
+
+_OP_CODES = {
+    Operation.READ: "R",
+    Operation.UPDATE: "U",
+    Operation.WRITE: "W",
+    Operation.DELETE: "D",
+}
+_CODE_OPS = {v: k for k, v in _OP_CODES.items()}
+
+
+def dumps(requests: list[Request]) -> str:
+    """Serialise a request stream."""
+    buf = io.StringIO()
+    for req in requests:
+        buf.write(f"{_OP_CODES[req.op]}\t{req.key}\n")
+    return buf.getvalue()
+
+
+def loads(text: str) -> list[Request]:
+    """Parse a serialised request stream."""
+    requests: list[Request] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            code, key = line.split("\t", 1)
+            requests.append(Request(_CODE_OPS[code], key))
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"malformed trace line {lineno}: {line!r}") from exc
+    return requests
+
+
+def save(requests: list[Request], path: str | Path) -> None:
+    """Write a trace file."""
+    Path(path).write_text(dumps(requests))
+
+
+def load(path: str | Path) -> list[Request]:
+    """Read a trace file."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,170 @@
+"""Zipfian request choosers, matching YCSB's generators.
+
+:class:`ZipfianGenerator` implements the rejection-free inverse-CDF
+approximation of Gray et al. (SIGMOD '94) that YCSB uses, with the standard
+skew constant theta = 0.99.  Item 0 is the most popular.
+
+:class:`ScrambledZipfian` composes it with an FNV-1a hash so popular items
+are spread uniformly over the key space -- this is YCSB's default request
+chooser and what the paper's workloads use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+ZIPFIAN_CONSTANT = 0.99
+
+FNV_OFFSET_64 = 0xCBF29CE484222325
+FNV_PRIME_64 = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 little-endian bytes (YCSB's scrambler)."""
+    h = FNV_OFFSET_64
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        h ^= octet
+        h = (h * FNV_PRIME_64) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def zeta(n: int, theta: float) -> float:
+    """Generalised harmonic number sum_{i=1..n} 1/i^theta (vectorised)."""
+    if n <= 0:
+        return 0.0
+    return float(np.sum(1.0 / np.arange(1, n + 1, dtype=np.float64) ** theta))
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, n), rank 0 most popular."""
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT, seed: int = 0):
+        if n < 1:
+            raise ValueError(f"need at least one item, got n={n}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        self.zetan = zeta(n, theta)
+        self.zeta2 = zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta2 / self.zetan)
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Vectorised batch of ``count`` draws (same distribution as next())."""
+        u = self._rng.random(count)
+        uz = u * self.zetan
+        out = (self.n * (self.eta * u - self.eta + 1.0) ** self.alpha).astype(np.int64)
+        out[uz < 1.0 + 0.5**self.theta] = 1
+        out[uz < 1.0] = 0
+        np.clip(out, 0, self.n - 1, out=out)
+        return out
+
+
+class UniformGenerator:
+    """Uniform key chooser (YCSB's uniform distribution)."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n < 1:
+            raise ValueError(f"need at least one item, got n={n}")
+        self.n = n
+        self._rng = np.random.default_rng(seed)
+
+    def next(self) -> int:
+        return int(self._rng.integers(0, self.n))
+
+    def sample(self, count: int) -> np.ndarray:
+        return self._rng.integers(0, self.n, size=count, dtype=np.int64)
+
+
+class HotspotGenerator:
+    """YCSB's hotspot chooser: ``hot_op_fraction`` of requests hit a
+    contiguous ``hot_set_fraction`` of the key space; the rest are uniform
+    over the cold set."""
+
+    def __init__(
+        self,
+        n: int,
+        hot_set_fraction: float = 0.2,
+        hot_op_fraction: float = 0.8,
+        seed: int = 0,
+    ):
+        if n < 1:
+            raise ValueError(f"need at least one item, got n={n}")
+        if not 0 < hot_set_fraction < 1 or not 0 <= hot_op_fraction <= 1:
+            raise ValueError("fractions must be in (0,1) / [0,1]")
+        self.n = n
+        self.hot_count = max(1, int(n * hot_set_fraction))
+        self.hot_op_fraction = hot_op_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def next(self) -> int:
+        if self._rng.random() < self.hot_op_fraction:
+            return int(self._rng.integers(0, self.hot_count))
+        return int(self._rng.integers(self.hot_count, self.n))
+
+    def sample(self, count: int) -> np.ndarray:
+        hot = self._rng.random(count) < self.hot_op_fraction
+        out = self._rng.integers(self.hot_count, self.n, size=count, dtype=np.int64)
+        hot_draws = self._rng.integers(0, self.hot_count, size=count, dtype=np.int64)
+        out[hot] = hot_draws[hot]
+        return out
+
+
+class LatestGenerator:
+    """YCSB's "latest" chooser: recency-skewed popularity.
+
+    Draws a Zipf-distributed *age* and subtracts it from the newest item, so
+    recently-inserted items are hottest (workload D's distribution).  Call
+    :meth:`grow` when an insert extends the population.
+    """
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT, seed: int = 0):
+        if n < 1:
+            raise ValueError(f"need at least one item, got n={n}")
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta=theta, seed=seed)
+
+    def grow(self, count: int = 1) -> None:
+        """The population grew by ``count`` items (newest id = n - 1)."""
+        self.n += count
+
+    def next(self) -> int:
+        age = self._zipf.next()
+        return max(0, self.n - 1 - age)
+
+    def sample(self, count: int) -> np.ndarray:
+        ages = self._zipf.sample(count)
+        return np.maximum(0, self.n - 1 - ages)
+
+
+class ScrambledZipfian:
+    """Zipfian popularity spread over the key space by FNV hashing."""
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT, seed: int = 0):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta=theta, seed=seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.n
+
+    def sample(self, count: int) -> np.ndarray:
+        ranks = self._zipf.sample(count)
+        # hash each rank; vectorising FNV over arbitrary ints is awkward, so
+        # memoise instead: the rank distribution is heavily skewed and only a
+        # small set of distinct ranks appears in practice.
+        uniq, inverse = np.unique(ranks, return_inverse=True)
+        hashed = np.array([fnv1a_64(int(v)) % self.n for v in uniq], dtype=np.int64)
+        return hashed[inverse]

@@ -1,0 +1,225 @@
+"""Tests for the four baseline stores (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FSMem, IPMem, ReplicatedStore, VanillaMemcached, make_store
+from repro.core.config import StoreConfig
+from repro.core.interface import DataLossError
+
+
+def _cfg(**kw):
+    defaults = dict(k=4, r=3, value_size=4096, payload_scale=1 / 16)
+    defaults.update(kw)
+    return StoreConfig(**defaults)
+
+
+def _load(store, n=32):
+    for i in range(n):
+        store.write(f"user{i}")
+    return store
+
+
+def test_make_store_registry():
+    for name in ("vanilla", "replication", "ipmem", "fsmem", "logecmem"):
+        assert make_store(name, _cfg()).name == name
+    with pytest.raises(ValueError):
+        make_store("bogus", _cfg())
+
+
+# ------------------------------------------------------------------- vanilla
+
+
+def test_vanilla_roundtrip():
+    s = _load(VanillaMemcached(_cfg()))
+    assert np.array_equal(s.read("user3").value, s.expected_value("user3"))
+    s.update("user3")
+    assert np.array_equal(s.read("user3").value, s.expected_value("user3"))
+    s.delete("user3")
+    with pytest.raises(KeyError):
+        s.read("user3")
+
+
+def test_vanilla_has_no_degraded_path():
+    s = _load(VanillaMemcached(_cfg()))
+    with pytest.raises(DataLossError):
+        s.degraded_read("user3")
+
+
+def test_vanilla_loses_data_on_failure():
+    s = _load(VanillaMemcached(_cfg()))
+    s.cluster.kill(s.placement["user3"])
+    with pytest.raises(DataLossError):
+        s.read("user3")
+
+
+def test_vanilla_duplicate_and_missing_keys():
+    s = _load(VanillaMemcached(_cfg()), n=2)
+    with pytest.raises(KeyError):
+        s.write("user0")
+    with pytest.raises(KeyError):
+        s.update("ghost")
+    with pytest.raises(KeyError):
+        s.delete("ghost")
+
+
+# --------------------------------------------------------------- replication
+
+
+def test_replication_stores_r_plus_1_copies():
+    cfg = _cfg()
+    s = _load(ReplicatedStore(cfg))
+    v = VanillaMemcached(_cfg())
+    _load(v)
+    ratio = s.memory_logical_bytes / v.memory_logical_bytes
+    assert ratio == pytest.approx(cfg.r + 1, rel=0.01)
+
+
+def test_replication_survives_r_failures():
+    s = _load(ReplicatedStore(_cfg()))
+    nodes = s.placement["user3"]
+    for nid in nodes[:3]:  # kill r = 3 of the 4 replicas
+        s.cluster.kill(nid)
+    res = s.read("user3")
+    assert res.degraded
+    assert np.array_equal(res.value, s.expected_value("user3"))
+
+
+def test_replication_all_replicas_down_is_loss():
+    s = _load(ReplicatedStore(_cfg()))
+    for nid in s.placement["user3"]:
+        s.cluster.kill(nid)
+    with pytest.raises(DataLossError):
+        s.read("user3")
+
+
+def test_replication_degraded_read_is_cheap():
+    """The paper: degraded read = read another replica, no decoding."""
+    s = _load(ReplicatedStore(_cfg()))
+    normal = s.read("user3").latency_s
+    degraded = s.degraded_read("user3").latency_s
+    assert degraded < 2.5 * normal
+
+
+def test_replication_write_slower_than_vanilla():
+    rep = ReplicatedStore(_cfg())
+    van = VanillaMemcached(_cfg())
+    assert rep.write("k").latency_s > van.write("k").latency_s
+
+
+def test_replication_copy_count_tracks_r():
+    for r in (2, 3, 4):
+        s = ReplicatedStore(StoreConfig(k=4, r=r))
+        assert s.copies == r + 1
+
+
+# --------------------------------------------------------------------- ipmem
+
+
+def test_ipmem_update_consistency():
+    s = _load(IPMem(_cfg()))
+    for key in ("user3", "user3", "user9"):
+        s.update(key)
+    for sid in s.stripe_index.stripe_ids():
+        assert s.verify_stripe(sid)
+    assert np.array_equal(s.read("user3").value, s.expected_value("user3"))
+
+
+def test_ipmem_degraded_read_all_parities_in_dram():
+    s = _load(IPMem(_cfg()), n=32)
+    s.update("user3")
+    res = s.degraded_read("user3")
+    assert np.array_equal(res.value, s.expected_value("user3"))
+
+
+def test_ipmem_survives_r_dram_failures():
+    s = _load(IPMem(_cfg()), n=32)
+    for nid in ("dram0", "dram1", "dram2"):
+        s.cluster.kill(nid)
+    for i in range(8):
+        res = s.read(f"user{i}")
+        assert np.array_equal(res.value, s.expected_value(f"user{i}"))
+
+
+# --------------------------------------------------------------------- fsmem
+
+
+def test_fsmem_update_moves_object_to_new_stripe():
+    s = _load(FSMem(_cfg()))
+    old_sid = s.object_index.lookup("user3").stripe_id
+    s.update("user3")
+    # force sealing of the new stripe by updating more objects
+    for i in range(8):
+        s.update(f"user{i + 10}")
+    new_sid = s.object_index.lookup("user3").stripe_id
+    assert new_sid != old_sid
+    assert np.array_equal(s.read("user3").value, s.expected_value("user3"))
+
+
+def test_fsmem_update_issues_no_parity_reads():
+    s = _load(FSMem(_cfg()))
+    s.update("user3")
+    assert s.counters["parity_chunk_reads"] == 0
+
+
+def test_fsmem_stale_memory_accumulates():
+    s = _load(FSMem(_cfg()))
+    before = s.memory_logical_bytes
+    for i in range(8):
+        s.update(f"user{i}")
+    after = s.memory_logical_bytes
+    assert after >= before + 8 * s.cfg.value_size
+
+
+def test_fsmem_deferred_gc_charges_cost():
+    s = _load(FSMem(_cfg()))
+    for i in range(6):
+        s.update(f"user{i}")
+    assert s.gc_total_s == 0.0
+    s.finalize()
+    assert s.gc_total_s > 0.0
+    assert s.gc_deferred_s == s.gc_total_s
+    assert s.gc_chunk_reads > 0
+
+
+def test_fsmem_inline_gc_threshold():
+    cfg = _cfg(fsmem_gc_stale_threshold=4)
+    s = _load(FSMem(cfg))
+    for i in range(8):
+        s.update(f"user{i}")
+    assert s.gc_rounds >= 1
+    assert s.gc_deferred_s == 0.0 or s.gc_deferred_s < s.gc_total_s
+
+
+def test_fsmem_reclaim_frees_stale_versions():
+    s = _load(FSMem(_cfg()))
+    for i in range(8):
+        s.update(f"user{i}")
+    before = s.memory_logical_bytes
+    freed = s.reclaim()
+    assert freed > 0
+    assert s.memory_logical_bytes == before - freed
+    # current versions still readable
+    assert np.array_equal(s.read("user3").value, s.expected_value("user3"))
+
+
+def test_fsmem_fully_replaced_stripe_needs_no_gc_reads():
+    """Figure 1(b): a stripe whose chunks are all replaced releases for free."""
+    cfg = _cfg(k=4)
+    s = _load(FSMem(cfg), n=8)
+    sid = s.object_index.lookup("user0").stripe_id
+    rec = s.stripe_index.get(sid)
+    victims = [keys[0] for keys in rec.chunk_keys]
+    for key in victims:
+        s.update(key)
+    s.finalize()
+    # that one stripe was fully stale -> zero chunk reads for it; the other
+    # stripe was untouched -> no GC reads at all
+    assert s.gc_chunk_reads == 0
+
+
+def test_fsmem_degraded_read_current_version():
+    s = _load(FSMem(_cfg()))
+    s.update("user3")
+    res = s.degraded_read("user3")
+    assert np.array_equal(res.value, s.expected_value("user3"))

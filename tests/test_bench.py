@@ -1,0 +1,271 @@
+"""Tests for the workload runner and (scaled-down) experiment drivers.
+
+These assert the *shapes* the paper reports -- who wins, where crossovers
+fall -- at small scale, so the benchmark harness is itself verified.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import make_store
+from repro.bench.experiments import (
+    experiment1,
+    experiment5,
+    experiment6,
+    experiment7,
+    update_memory_sweep,
+)
+from repro.bench.runner import (
+    estimate_throughput,
+    load_store,
+    measure_degraded_reads,
+    run_workload,
+)
+from repro.core.config import StoreConfig
+from repro.workloads import WorkloadSpec
+
+
+def _cfg(**kw):
+    defaults = dict(k=4, r=3, value_size=4096, payload_scale=1 / 16)
+    defaults.update(kw)
+    return StoreConfig(**defaults)
+
+
+def _spec(ratio="95:5", n=200, reqs=200, kind="ru"):
+    ctor = WorkloadSpec.read_update if kind == "ru" else WorkloadSpec.read_write
+    return ctor(ratio, n_objects=n, n_requests=reqs, seed=42)
+
+
+# -------------------------------------------------------------------- runner
+
+
+def test_run_workload_collects_all_ops():
+    store = make_store("logecmem", _cfg())
+    result = run_workload(store, _spec("50:50"))
+    assert result.op_count("read") + result.op_count("update") == 200
+    assert result.mean_latency_us("read") > 0
+    assert result.mean_latency_us("update") > result.mean_latency_us("read")
+    assert result.memory_bytes > 0
+    assert result.throughput_ops_s > 0
+
+
+def test_runner_advances_clock():
+    store = make_store("vanilla", _cfg())
+    load_store(store, _spec())
+    assert store.cluster.clock.now > 0
+
+
+def test_latency_percentiles_ordered():
+    store = make_store("logecmem", _cfg())
+    result = run_workload(store, _spec("50:50"))
+    for op in ("read", "update"):
+        assert (
+            result.median_latency_us(op)
+            <= result.mean_latency_us(op) + result.p95_latency_us(op)
+        )
+        assert result.p95_latency_us(op) >= result.median_latency_us(op)
+
+
+def test_fsmem_deferred_gc_amortised_into_update_mean():
+    store = make_store("fsmem", _cfg())
+    result = run_workload(store, _spec("50:50"))
+    raw_mean = (
+        sum(result.latencies_s["update"]) / len(result.latencies_s["update"]) * 1e6
+    )
+    assert result.mean_latency_us("update") > raw_mean
+    assert result.deferred_update_s > 0
+
+
+def test_measure_degraded_reads_sample():
+    store = make_store("logecmem", _cfg())
+    spec = _spec()
+    load_store(store, spec)
+    lats = measure_degraded_reads(store, spec, samples=20)
+    assert len(lats) == 20
+    assert all(l > 0 for l in lats)
+
+
+def test_estimate_throughput_empty_run():
+    store = make_store("vanilla", _cfg())
+    from repro.bench.runner import WorkloadResult
+
+    assert estimate_throughput(store, WorkloadResult(store="vanilla", spec=_spec())) == 0.0
+
+
+# ------------------------------------------------------------- experiment 1
+
+
+@pytest.fixture(scope="module")
+def exp1_rows():
+    return experiment1(
+        n_objects=240,
+        n_requests=240,
+        value_sizes=(4096,),
+        ratios=("95:5",),
+        degraded_samples=20,
+    )
+
+
+def _row(rows, store, **match):
+    for row in rows:
+        if row["store"] == store and all(row[k] == v for k, v in match.items()):
+            return row
+    raise AssertionError(f"no row for {store} {match}")
+
+
+def test_exp1_reads_similar_across_systems(exp1_rows):
+    reads = [r["read_latency_us"] for r in exp1_rows]
+    assert max(reads) / min(reads) < 1.2  # Figure 10(a): all systems similar
+
+
+def test_exp1_write_ordering(exp1_rows):
+    """Figure 10(c): replication >> EC systems > Vanilla."""
+    vanilla = _row(exp1_rows, "vanilla")["write_latency_us"]
+    rep = _row(exp1_rows, "replication")["write_latency_us"]
+    lec = _row(exp1_rows, "logecmem")["write_latency_us"]
+    assert rep > lec > vanilla
+
+
+def test_exp1_degraded_ordering(exp1_rows):
+    """Figure 10(g): replication's degraded read is cheapest; EC systems similar."""
+    rep = _row(exp1_rows, "replication")["degraded_latency_us"]
+    ip = _row(exp1_rows, "ipmem")["degraded_latency_us"]
+    lec = _row(exp1_rows, "logecmem")["degraded_latency_us"]
+    assert rep < lec
+    assert abs(ip - lec) / lec < 0.2
+    assert math.isnan(_row(exp1_rows, "vanilla")["degraded_latency_us"])
+
+
+def test_exp1_vanilla_highest_throughput(exp1_rows):
+    tputs = {r["store"]: r["throughput_kops"] for r in exp1_rows}
+    assert tputs["vanilla"] >= max(tputs.values()) * 0.999
+
+
+# --------------------------------------------------------- experiments 2-4
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return update_memory_sweep(
+        [(6, 3), (10, 4)], ratios=("95:5", "50:50"), n_objects=600, n_requests=600
+    )
+
+
+def test_exp2_logecmem_beats_ipmem(sweep_rows):
+    for k in (6, 10):
+        for ratio in ("95:5", "50:50"):
+            lec = _row(sweep_rows, "logecmem", k=k, ratio=ratio)["update_latency_us"]
+            ip = _row(sweep_rows, "ipmem", k=k, ratio=ratio)["update_latency_us"]
+            assert lec < ip
+
+
+def test_exp2_gap_grows_with_r(sweep_rows):
+    def reduction(k):
+        lec = _row(sweep_rows, "logecmem", k=k, ratio="95:5")["update_latency_us"]
+        ip = _row(sweep_rows, "ipmem", k=k, ratio="95:5")["update_latency_us"]
+        return (ip - lec) / ip
+
+    assert reduction(10) > reduction(6)  # r=4 vs r=3
+
+
+def test_exp2_fsmem_crossover(sweep_rows):
+    """Figure 11: LogECMem wins update-light, FSMem wins update-heavy."""
+    lec_l = _row(sweep_rows, "logecmem", k=6, ratio="95:5")["update_latency_us"]
+    fs_l = _row(sweep_rows, "fsmem", k=6, ratio="95:5")["update_latency_us"]
+    lec_h = _row(sweep_rows, "logecmem", k=6, ratio="50:50")["update_latency_us"]
+    fs_h = _row(sweep_rows, "fsmem", k=6, ratio="50:50")["update_latency_us"]
+    assert fs_l > lec_l
+    assert fs_h < lec_h
+
+
+def test_exp2_replication_fastest_updates(sweep_rows):
+    for k in (6, 10):
+        rep = _row(sweep_rows, "replication", k=k, ratio="95:5")["update_latency_us"]
+        others = [
+            _row(sweep_rows, s, k=k, ratio="95:5")["update_latency_us"]
+            for s in ("ipmem", "fsmem", "logecmem")
+        ]
+        assert rep < min(others)
+
+
+def test_exp3_memory_ordering(sweep_rows):
+    """Figure 12: replication >> FSMem > IPMem > LogECMem."""
+    for ratio in ("95:5", "50:50"):
+        mem = {
+            s: _row(sweep_rows, s, k=6, ratio=ratio)["memory_GiB"]
+            for s in ("replication", "ipmem", "fsmem", "logecmem")
+        }
+        assert mem["replication"] > mem["fsmem"] > mem["logecmem"]
+        assert mem["ipmem"] > mem["logecmem"]
+
+
+def test_exp3_paper_scale_magnitudes(sweep_rows):
+    """(6,3): 4-way ~16 GiB, IPMem ~6, LogECMem ~4.7 (Figure 12(a))."""
+    assert _row(sweep_rows, "replication", k=6, ratio="95:5")["memory_GiB"] == pytest.approx(16, rel=0.1)
+    assert _row(sweep_rows, "ipmem", k=6, ratio="95:5")["memory_GiB"] == pytest.approx(6, rel=0.1)
+    assert _row(sweep_rows, "logecmem", k=6, ratio="95:5")["memory_GiB"] == pytest.approx(4.7, rel=0.1)
+
+
+def test_exp4_large_k_fsmem_degrades():
+    rows = update_memory_sweep(
+        [(16, 4)], ratios=("95:5",), stores=("fsmem", "logecmem"),
+        n_objects=640, n_requests=320,
+    )
+    fs = _row(rows, "fsmem", k=16)["update_latency_us"]
+    lec = _row(rows, "logecmem", k=16)["update_latency_us"]
+    assert fs > 1.5 * lec  # re-computation dominates at large k
+
+
+# ------------------------------------------------------------- experiment 5
+
+
+def test_exp5_scheme_io_ordering():
+    rows = experiment5(
+        codes=[(6, 3)], ratios=("50:50",), n_objects=400, n_requests=400,
+        io_code=(6, 3),
+    )
+    ios = {r["scheme"]: r["disk_ios"] for r in rows}
+    assert ios["pl"] < ios["plm"] < ios["plr-m"] < ios["plr"]
+
+
+def test_exp5_ios_grow_with_update_ratio():
+    rows = experiment5(
+        codes=[(6, 3)], ratios=("95:5", "50:50"), n_objects=400, n_requests=400,
+        schemes=("plr",), io_code=(6, 3),
+    )
+    light = next(r for r in rows if r["ratio"] == "95:5")["disk_ios"]
+    heavy = next(r for r in rows if r["ratio"] == "50:50")["disk_ios"]
+    assert heavy > light
+
+
+# ------------------------------------------------------------- experiment 6
+
+
+def test_exp6_pl_repair_slowest():
+    rows = experiment6(
+        codes=[(6, 3)], ratios=("50:50",), n_objects=300, n_requests=300,
+        samples=25, io_code=(6, 3),
+    )
+    lat = {r["scheme"]: r["degraded_latency_us"] for r in rows}
+    assert lat["pl"] > lat["plr"]
+    assert lat["pl"] > lat["plm"]
+    assert lat["plm"] <= lat["plr"] * 1.01  # PLM at least matches PLR
+
+
+# ------------------------------------------------------------- experiment 7
+
+
+def test_exp7_log_assist_helps_most_at_small_k():
+    rows = experiment7(codes=[(6, 3), (12, 4)], n_objects=480, n_requests=240)
+
+    def gain(k):
+        plain = next(r for r in rows if r["k"] == k and not r["log_assist"])
+        assisted = next(r for r in rows if r["k"] == k and r["log_assist"])
+        return (
+            assisted["throughput_GiB_per_min"] - plain["throughput_GiB_per_min"]
+        ) / plain["throughput_GiB_per_min"]
+
+    assert gain(6) > gain(12) > 0
+    # the paper's headline: up to ~18% at (6,3)
+    assert 0.10 < gain(6) < 0.30

@@ -1,0 +1,57 @@
+"""Tests for per-phase latency breakdowns on the update path."""
+
+import pytest
+
+from repro.analysis.breakdown import aggregate_breakdowns, breakdown_shares
+from repro.core.config import StoreConfig
+from repro.core.interface import OpResult
+from repro.core.logecmem import LogECMem
+
+
+def _loaded(n=24):
+    store = LogECMem(StoreConfig(k=4, r=3, payload_scale=1 / 16))
+    for i in range(n):
+        store.write(f"user{i}")
+    return store
+
+
+def test_update_carries_breakdown():
+    store = _loaded()
+    res = store.update("user3")
+    parts = res.info["breakdown"]
+    assert set(parts) == {"client", "reads", "compute", "writes", "log_stall"}
+    assert sum(parts.values()) == pytest.approx(res.latency_s)
+    assert all(v >= 0 for v in parts.values())
+
+
+def test_network_phases_dominate_update_latency():
+    """The paper's point: updates are I/O-path-bound -- the sequential reads
+    (old data + XOR parity) and the fan-out writes dwarf the compute."""
+    store = _loaded()
+    results = [store.update(f"user{i}") for i in range(12)]
+    shares = breakdown_shares(results)
+    assert shares["reads"] + shares["writes"] > 0.8
+    assert shares["reads"] > 10 * shares["compute"]
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_aggregate_means():
+    store = _loaded()
+    results = [store.update("user3") for _ in range(5)]
+    means = aggregate_breakdowns(results)
+    assert means["reads"] == pytest.approx(results[0].info["breakdown"]["reads"])
+
+
+def test_aggregate_handles_missing_breakdowns():
+    assert aggregate_breakdowns([OpResult(latency_s=1.0)]) == {}
+    assert breakdown_shares([]) == {}
+    store = _loaded()
+    mixed = [store.read("user3"), store.update("user3")]
+    means = aggregate_breakdowns(mixed)
+    assert "reads" in means  # only the update contributes
+
+
+def test_no_stall_on_healthy_disk():
+    store = _loaded()
+    res = store.update("user3")
+    assert res.info["breakdown"]["log_stall"] == 0.0

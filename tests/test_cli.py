@@ -1,0 +1,105 @@
+"""Tests for the command-line reproduction driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    lines: list[str] = []
+    rc = main(argv, out=lambda text: lines.append(str(text)))
+    return rc, "\n".join(lines)
+
+
+def test_table2_command():
+    rc, out = _run(["table2"])
+    assert rc == 0
+    assert "1.03e+09" in out
+    assert "(15,3)" in out
+
+
+def test_observation1_command():
+    rc, out = _run(["observation1", "--code", "6,3", "--ratio", "50:50",
+                    "--objects", "3000", "--requests", "3000"])
+    assert rc == 0
+    assert "# updated stripes" in out
+
+
+def test_observation2_command():
+    rc, out = _run(["observation2"])
+    assert rc == 0
+    assert "1.50M" in out
+
+
+def test_run_command_ratio():
+    rc, out = _run(["run", "--store", "logecmem", "--ratio", "80:20",
+                    "--objects", "200", "--requests", "200"])
+    assert rc == 0
+    assert "update" in out
+    assert "memory:" in out
+
+
+def test_run_command_preset():
+    rc, out = _run(["run", "--store", "fsmem", "--preset", "B",
+                    "--objects", "150", "--requests", "150"])
+    assert rc == 0
+    assert "YCSB-B" in out
+
+
+def test_run_command_scheme_choice():
+    rc, out = _run(["run", "--scheme", "plr", "--objects", "150",
+                    "--requests", "150"])
+    assert rc == 0
+
+
+def test_exp2_command_small():
+    rc, out = _run(["exp2", "--objects", "240", "--requests", "240"])
+    assert rc == 0
+    assert "logecmem" in out
+    assert "update_latency_us" in out
+
+
+def test_exp7_command_small():
+    rc, out = _run(["exp7", "--objects", "240", "--requests", "120"])
+    assert rc == 0
+    assert "throughput_GiB_per_min" in out
+
+
+def test_exp7_out_saves_rows(tmp_path):
+    from repro.bench import results
+
+    path = tmp_path / "exp7.csv"
+    rc, out = _run(["exp7", "--objects", "240", "--requests", "120",
+                    "--out", str(path)])
+    assert rc == 0
+    assert "saved" in out
+    rows = results.load(path)
+    assert len(rows) == 8  # 4 codes x (with/without log-assist)
+    assert {"k", "log_assist", "throughput_GiB_per_min"} <= set(rows[0])
+
+
+def test_tradeoff_command_small():
+    rc, out = _run(["tradeoff", "--objects", "300", "--requests", "300"])
+    assert rc == 0
+    assert "Table 3 rankings" in out
+    assert "best" in out
+
+
+def test_report_command_writes_everything(tmp_path):
+    rc, out = _run(["report", "--dir", str(tmp_path), "--objects", "200",
+                    "--requests", "200"])
+    assert rc == 0
+    report = (tmp_path / "REPORT.txt").read_text()
+    for heading in ("Table 2", "Observation 1", "Experiment 7", "Table 3"):
+        assert heading in report
+    assert len(list(tmp_path.glob("exp*.json"))) == 7
+
+
+def test_bad_code_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--code", "six-three"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,180 @@
+"""Tests for consistent hashing, nodes and cluster topology."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ConsistentHashRing, DRAMNode, LogNode
+from repro.ec.delta import ParityDelta
+from repro.logstore.records import LogRecord
+from repro.sim.params import HardwareProfile
+
+
+# ----------------------------------------------------------------- hash ring
+
+
+def test_ring_lookup_deterministic():
+    ring = ConsistentHashRing(["a", "b", "c"])
+    assert ring.lookup("key1") == ring.lookup("key1")
+
+
+def test_ring_balances_roughly():
+    ring = ConsistentHashRing([f"n{i}" for i in range(4)], vnodes=128)
+    counts = {f"n{i}": 0 for i in range(4)}
+    for i in range(4000):
+        counts[ring.lookup(f"key-{i}")] += 1
+    for c in counts.values():
+        assert 400 < c < 2000  # no node starved or dominant
+
+
+def test_ring_remove_only_remaps_removed_arc():
+    ring = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+    before = {f"k{i}": ring.lookup(f"k{i}") for i in range(500)}
+    ring.remove_node("b")
+    for key, owner in before.items():
+        if owner != "b":
+            assert ring.lookup(key) == owner
+
+
+def test_ring_add_duplicate_raises():
+    ring = ConsistentHashRing(["a"])
+    with pytest.raises(ValueError):
+        ring.add_node("a")
+
+
+def test_ring_remove_missing_raises():
+    with pytest.raises(KeyError):
+        ConsistentHashRing(["a"]).remove_node("z")
+
+
+def test_ring_empty_lookup_raises():
+    with pytest.raises(LookupError):
+        ConsistentHashRing().lookup("k")
+
+
+def test_ring_lookup_many_distinct():
+    ring = ConsistentHashRing(["a", "b", "c", "d"])
+    nodes = ring.lookup_many("key", 3)
+    assert len(nodes) == 3
+    assert len(set(nodes)) == 3
+    with pytest.raises(ValueError):
+        ring.lookup_many("key", 5)
+
+
+def test_ring_vnodes_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(vnodes=0)
+
+
+# --------------------------------------------------------------------- nodes
+
+
+def test_dram_node_holds_items():
+    n = DRAMNode("dram0")
+    n.table.set("k", 4096)
+    assert n.logical_bytes > 4096
+    n.fail()
+    assert not n.alive
+    n.restore()
+    assert n.alive
+
+
+def _delta_rec(sid=0, pidx=1, seed=0, length=64):
+    rng = np.random.default_rng(seed)
+    d = ParityDelta(sid, pidx, 0, rng.integers(0, 256, length, dtype=np.uint8))
+    return LogRecord.for_delta(d, length * 16)
+
+
+def test_log_node_async_append_is_free():
+    node = LogNode("log0", HardwareProfile(), scheme="plm")
+    stall = node.append(_delta_rec(), now=0.0)
+    assert stall == 0.0
+    assert len(node.buffer) == 1
+
+
+def test_log_node_flushes_at_threshold():
+    profile = HardwareProfile(log_buffer_bytes=10_000, log_flush_threshold_bytes=2_000)
+    node = LogNode("log0", profile, scheme="pl", merge_buffer=False)
+    for i in range(3):
+        node.append(_delta_rec(sid=i, seed=i), now=0.0)
+    assert node.disk.stats.writes >= 1  # threshold crossed -> async flush
+    assert node.buffer.logical_bytes < 2_000  # drained below threshold
+
+
+def test_log_node_backpressure_when_disk_lags():
+    # a glacial disk: every flush leaves a backlog that exceeds the bound
+    profile = HardwareProfile(
+        log_buffer_bytes=10_000,
+        log_flush_threshold_bytes=1_000,
+        disk_seq_bandwidth_Bps=1e3,
+        max_disk_backlog_s=0.1,
+    )
+    node = LogNode("log0", profile, scheme="pl", merge_buffer=False)
+    stalls = [node.append(_delta_rec(sid=i, seed=i), now=0.0) for i in range(8)]
+    assert node.sync_flush_stalls >= 1
+    assert any(s > 0 for s in stalls)
+
+
+def test_log_node_read_overlays_buffer():
+    node = LogNode("log0", HardwareProfile(), scheme="plm")
+    rng = np.random.default_rng(1)
+    base = rng.integers(0, 256, 256, dtype=np.uint8)
+    node.append(LogRecord.for_chunk(5, 1, base, 4096), now=0.0)
+    payload = rng.integers(0, 256, 64, dtype=np.uint8)
+    node.append(LogRecord.for_delta(ParityDelta(5, 1, 10, payload), 1024), now=0.0)
+    result = node.read_uptodate_parity(5, 1, 256, now=0.0)
+    expect = base.copy()
+    expect[10:74] ^= payload
+    assert np.array_equal(result.payload, expect)
+
+
+def test_log_node_read_unknown_parity_raises():
+    node = LogNode("log0", HardwareProfile(), scheme="plm")
+    with pytest.raises(KeyError):
+        node.read_uptodate_parity(1, 1, 256, now=0.0)
+
+
+def test_log_node_settle_drains_everything():
+    node = LogNode("log0", HardwareProfile(), scheme="plm")
+    node.append(_delta_rec(), now=0.0)
+    node.settle(now=0.0)
+    assert node.buffer.is_empty
+    assert node.scheme.staging_bytes == 0
+
+
+# ------------------------------------------------------------------- cluster
+
+
+def test_cluster_builds_expected_nodes():
+    c = Cluster(n_dram=7, n_log=2)
+    assert c.dram_ids() == [f"dram{i}" for i in range(7)]
+    assert c.log_ids() == ["log0", "log1"]
+    assert len(c.ring) == 7
+
+
+def test_cluster_requires_dram():
+    with pytest.raises(ValueError):
+        Cluster(n_dram=0)
+
+
+def test_cluster_kill_and_restore():
+    c = Cluster(n_dram=3, n_log=1)
+    c.kill("dram1")
+    assert c.alive_dram_ids() == ["dram0", "dram2"]
+    c.kill("log0")
+    assert c.alive_log_ids() == []
+    c.restore("dram1")
+    assert "dram1" in c.alive_dram_ids()
+    with pytest.raises(KeyError):
+        c.kill("nope")
+
+
+def test_cluster_memory_and_disk_aggregation():
+    c = Cluster(n_dram=2, n_log=2, scheme="pl")
+    c.dram_nodes["dram0"].table.set("a", 1000)
+    c.dram_nodes["dram1"].table.set("b", 2000)
+    assert c.dram_logical_bytes == c.dram_nodes["dram0"].logical_bytes + c.dram_nodes[
+        "dram1"
+    ].logical_bytes
+    c.log_nodes["log0"].append(_delta_rec(), now=0.0)
+    c.settle_logs()
+    assert c.disk_stats().writes >= 1

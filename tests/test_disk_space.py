@@ -1,0 +1,124 @@
+"""Tests for log disk-space accounting and update-under-failure semantics."""
+
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.core.logecmem import LogECMem
+from repro.core.striped import ChunkUnavailableError
+from repro.baselines.ipmem import IPMem
+from repro.logstore import make_scheme
+from repro.sim.disk import DiskModel
+from repro.sim.params import HardwareProfile
+
+
+def _loaded(n=24, updates=12):
+    store = LogECMem(StoreConfig(k=4, r=3, payload_scale=1 / 16))
+    for i in range(n):
+        store.write(f"user{i}")
+    for i in range(updates):
+        store.update(f"user{i % n}")
+    store.finalize()
+    return store
+
+
+# --------------------------------------------------------------- disk space
+
+
+def test_pl_appended_space_grows_monotonically():
+    store_pl = LogECMem(StoreConfig(k=4, r=3, payload_scale=1 / 16, scheme="pl"))
+    for i in range(24):
+        store_pl.write(f"user{i}")
+    store_pl.finalize()
+    base = store_pl.cluster.log_disk_logical_bytes()
+    for i in range(12):
+        store_pl.update(f"user{i}")
+    store_pl.finalize()
+    assert store_pl.cluster.log_disk_logical_bytes() > base
+
+
+def test_pl_uses_more_space_than_plm_after_merging():
+    """PL keeps every superseded delta on disk; PLM's lazy merge compacts."""
+    sizes = {}
+    for scheme in ("pl", "plm"):
+        store = LogECMem(StoreConfig(k=4, r=3, payload_scale=1 / 16, scheme=scheme))
+        for i in range(24):
+            store.write(f"user{i}")
+        for _ in range(10):
+            store.update("user3")  # same object, deltas merge in PLM
+        store.finalize()
+        sizes[scheme] = store.cluster.log_disk_logical_bytes()
+    assert sizes["pl"] > sizes["plm"]
+
+
+def test_region_space_matches_records():
+    scheme = make_scheme("plr", DiskModel(HardwareProfile()))
+    from repro.logstore.records import LogRecord
+    from repro.ec.delta import ParityDelta
+    import numpy as np
+
+    scheme.flush(
+        [LogRecord.for_chunk(1, 1, np.zeros(256, dtype=np.uint8), 4096)], now=0.0
+    )
+    scheme.flush(
+        [LogRecord.for_delta(ParityDelta(1, 1, 0, np.ones(64, dtype=np.uint8)), 1024)],
+        now=0.0,
+    )
+    assert scheme.disk_logical_bytes == 4096 + 1024
+    scheme.drop(1, 1)
+    assert scheme.disk_logical_bytes == 0
+
+
+def test_gc_reclaims_log_space():
+    from repro.core.gc import collect_garbage
+
+    store = _loaded()
+    before = store.cluster.log_disk_logical_bytes()
+    store.delete("user3")
+    collect_garbage(store)
+    assert store.cluster.log_disk_logical_bytes() < before
+
+
+# ----------------------------------------------------- update under failure
+
+
+def test_update_refused_when_home_node_down():
+    store = _loaded()
+    loc = store.object_index.lookup("user3")
+    home = store.stripe_index.get(loc.stripe_id).chunk_nodes[loc.seq_no]
+    store.cluster.kill(home)
+    with pytest.raises(ChunkUnavailableError):
+        store.update("user3")
+    # reads still degrade fine
+    assert store.read("user3").degraded
+
+
+def test_update_refused_when_xor_node_down():
+    store = _loaded()
+    loc = store.object_index.lookup("user3")
+    xor = store.stripe_index.get(loc.stripe_id).xor_parity_node()
+    store.cluster.kill(xor)
+    with pytest.raises(ChunkUnavailableError):
+        store.update("user3")
+
+
+def test_update_resumes_after_restore():
+    store = _loaded()
+    loc = store.object_index.lookup("user3")
+    home = store.stripe_index.get(loc.stripe_id).chunk_nodes[loc.seq_no]
+    store.cluster.kill(home)
+    with pytest.raises(ChunkUnavailableError):
+        store.update("user3")
+    store.cluster.restore(home)
+    res = store.update("user3")
+    assert res.latency_s > 0
+
+
+def test_ipmem_update_refused_when_home_down():
+    store = IPMem(StoreConfig(k=4, r=3, payload_scale=1 / 16))
+    for i in range(24):
+        store.write(f"user{i}")
+    loc = store.object_index.lookup("user3")
+    home = store.stripe_index.get(loc.stripe_id).chunk_nodes[loc.seq_no]
+    store.cluster.kill(home)
+    with pytest.raises(ChunkUnavailableError):
+        store.update("user3")

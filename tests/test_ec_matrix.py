@@ -1,0 +1,98 @@
+"""Tests for GF(2^8) matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.matrix import SingularMatrixError, gf_matinv, gf_matmul, gf_matvec
+
+
+def _random_matrix(rng, m, n):
+    return rng.integers(0, 256, size=(m, n), dtype=np.uint8)
+
+
+def test_matmul_identity():
+    rng = np.random.default_rng(0)
+    a = _random_matrix(rng, 5, 5)
+    eye = np.eye(5, dtype=np.uint8)
+    assert np.array_equal(gf_matmul(a, eye), a)
+    assert np.array_equal(gf_matmul(eye, a), a)
+
+
+def test_matmul_shape_check():
+    with pytest.raises(ValueError):
+        gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_matmul_associative():
+    rng = np.random.default_rng(1)
+    a = _random_matrix(rng, 3, 4)
+    b = _random_matrix(rng, 4, 5)
+    c = _random_matrix(rng, 5, 2)
+    assert np.array_equal(gf_matmul(gf_matmul(a, b), c), gf_matmul(a, gf_matmul(b, c)))
+
+
+def test_matmul_matches_scalar_definition():
+    rng = np.random.default_rng(2)
+    a = _random_matrix(rng, 3, 3)
+    b = _random_matrix(rng, 3, 3)
+    out = gf_matmul(a, b)
+    from repro.ec.gf256 import gf_mul
+
+    for i in range(3):
+        for j in range(3):
+            acc = 0
+            for t in range(3):
+                acc ^= int(gf_mul(a[i, t], b[t, j]))
+            assert int(out[i, j]) == acc
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**31 - 1))
+def test_inverse_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    # rejection-sample an invertible matrix
+    for _ in range(50):
+        m = _random_matrix(rng, n, n)
+        try:
+            inv = gf_matinv(m)
+        except SingularMatrixError:
+            continue
+        eye = np.eye(n, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(m, inv), eye)
+        assert np.array_equal(gf_matmul(inv, m), eye)
+        return
+    pytest.skip("no invertible sample found (vanishingly unlikely)")
+
+
+def test_singular_raises():
+    m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(SingularMatrixError):
+        gf_matinv(m)
+
+
+def test_zero_matrix_singular():
+    with pytest.raises(SingularMatrixError):
+        gf_matinv(np.zeros((3, 3), dtype=np.uint8))
+
+
+def test_matinv_requires_square():
+    with pytest.raises(ValueError):
+        gf_matinv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_matinv_does_not_mutate_input():
+    m = np.array([[1, 1], [1, 2]], dtype=np.uint8)
+    snapshot = m.copy()
+    gf_matinv(m)
+    assert np.array_equal(m, snapshot)
+
+
+def test_matvec_encodes_buffers():
+    rng = np.random.default_rng(3)
+    mat = _random_matrix(rng, 2, 4)
+    bufs = rng.integers(0, 256, size=(4, 128), dtype=np.uint8)
+    out = gf_matvec(mat, bufs)
+    assert out.shape == (2, 128)
+    assert np.array_equal(out, gf_matmul(mat, bufs))

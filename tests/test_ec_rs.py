@@ -1,0 +1,202 @@
+"""Tests for the (k, r) Reed-Solomon codes (XOR first parity, MDS decode)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.matrix import SingularMatrixError, gf_matinv
+from repro.ec.rs import RSCode, build_parity_matrix
+
+PAPER_CODES = [(6, 3), (10, 4), (12, 4), (15, 3)]
+LARGE_CODES = [(16, 4), (32, 4), (64, 4), (128, 4)]
+
+
+def _stripe(code, length=256, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(code.k, length), dtype=np.uint8)
+    parity = code.encode(data)
+    return data, parity
+
+
+@pytest.mark.parametrize("k,r", PAPER_CODES + LARGE_CODES)
+def test_first_parity_row_is_all_ones(k, r):
+    p = build_parity_matrix(k, r)
+    assert np.all(p[0] == 1)
+
+
+@pytest.mark.parametrize("k,r", PAPER_CODES)
+def test_xor_parity_matches_row0(k, r):
+    code = RSCode(k, r)
+    data, parity = _stripe(code)
+    assert np.array_equal(code.xor_parity(data), parity[0])
+    assert np.array_equal(np.bitwise_xor.reduce(data, axis=0), parity[0])
+
+
+@pytest.mark.parametrize("k,r", [(4, 2), (6, 3), (10, 4)])
+def test_mds_every_survivor_set_decodes(k, r):
+    """Any k-subset of generator rows must be invertible (MDS property)."""
+    code = RSCode(k, r)
+    for rows in itertools.combinations(range(k + r), k):
+        gf_matinv(code.generator[list(rows), :])  # must not raise
+
+
+@pytest.mark.parametrize("k,r", PAPER_CODES)
+def test_decode_single_data_failure(k, r):
+    code = RSCode(k, r)
+    data, parity = _stripe(code, seed=1)
+    chunks = {i: data[i] for i in range(k)}
+    chunks.update({k + j: parity[j] for j in range(r)})
+    lost = 2
+    available = {i: c for i, c in chunks.items() if i != lost}
+    out = code.decode(available, wanted=[lost])
+    assert np.array_equal(out[lost], data[lost])
+
+
+@pytest.mark.parametrize("k,r", PAPER_CODES)
+def test_decode_r_failures(k, r):
+    code = RSCode(k, r)
+    data, parity = _stripe(code, seed=2)
+    chunks = {i: data[i] for i in range(k)}
+    chunks.update({k + j: parity[j] for j in range(r)})
+    lost = list(range(r))  # drop the first r data chunks
+    available = {i: c for i, c in chunks.items() if i not in lost}
+    out = code.decode(available, wanted=lost)
+    for i in lost:
+        assert np.array_equal(out[i], data[i])
+
+
+def test_decode_reconstructs_parity_chunks():
+    code = RSCode(6, 3)
+    data, parity = _stripe(code, seed=3)
+    available = {i: data[i] for i in range(6)}
+    out = code.decode(available, wanted=[6, 7, 8])
+    for j in range(3):
+        assert np.array_equal(out[6 + j], parity[j])
+
+
+def test_decode_defaults_to_all_missing():
+    code = RSCode(4, 2)
+    data, parity = _stripe(code, seed=4)
+    available = {0: data[0], 1: data[1], 4: parity[0], 5: parity[1]}
+    out = code.decode(available)
+    assert set(out) == {2, 3}
+    assert np.array_equal(out[2], data[2])
+    assert np.array_equal(out[3], data[3])
+
+
+def test_decode_insufficient_chunks_raises():
+    code = RSCode(4, 2)
+    data, _ = _stripe(code, seed=5)
+    with pytest.raises(ValueError):
+        code.decode({0: data[0], 1: data[1], 2: data[2]})
+
+
+@pytest.mark.parametrize("k,r", PAPER_CODES)
+def test_repair_with_xor_fast_path(k, r):
+    code = RSCode(k, r)
+    data, parity = _stripe(code, seed=6)
+    survivors = {i: data[i] for i in range(k)}
+    survivors[k] = parity[0]
+    for lost in (0, k // 2, k - 1):
+        trimmed = {i: c for i, c in survivors.items() if i != lost}
+        rebuilt = code.repair_with_xor(lost, trimmed)
+        assert np.array_equal(rebuilt, data[lost])
+
+
+def test_repair_with_xor_missing_chunk_raises():
+    code = RSCode(4, 2)
+    data, parity = _stripe(code, seed=7)
+    survivors = {0: data[0], 1: data[1], 4: parity[0]}  # missing data chunk 3
+    with pytest.raises(KeyError):
+        code.repair_with_xor(2, survivors)
+
+
+def test_parity_delta_property1():
+    """P'(after update) == P + coefficient * (D' - D) for every parity."""
+    code = RSCode(6, 3)
+    data, parity = _stripe(code, seed=8)
+    new_data = data.copy()
+    rng = np.random.default_rng(9)
+    new_data[3] = rng.integers(0, 256, size=data.shape[1], dtype=np.uint8)
+    new_parity = code.encode(new_data)
+    delta = data[3] ^ new_data[3]
+    for j in range(3):
+        pd = code.parity_delta(j, 3, delta)
+        assert np.array_equal(parity[j] ^ pd, new_parity[j])
+
+
+def test_parity_delta_property2_merging():
+    """Two successive updates' parity deltas merge into one (XOR)."""
+    code = RSCode(6, 3)
+    data, parity = _stripe(code, seed=10)
+    rng = np.random.default_rng(11)
+    v1 = rng.integers(0, 256, size=data.shape[1], dtype=np.uint8)
+    v2 = rng.integers(0, 256, size=data.shape[1], dtype=np.uint8)
+    # update chunk 1 to v1, then chunk 4 to v2
+    step1 = data.copy()
+    step1[1] = v1
+    final = step1.copy()
+    final[4] = v2
+    final_parity = code.encode(final)
+    for j in range(3):
+        d1 = code.parity_delta(j, 1, data[1] ^ v1)
+        d2 = code.parity_delta(j, 4, step1[4] ^ v2)
+        merged = d1 ^ d2
+        assert np.array_equal(parity[j] ^ merged, final_parity[j])
+
+
+def test_coefficient_bounds():
+    code = RSCode(4, 2)
+    with pytest.raises(IndexError):
+        code.coefficient(2, 0)
+    with pytest.raises(IndexError):
+        code.coefficient(0, 4)
+
+
+def test_encode_shape_check():
+    code = RSCode(4, 2)
+    with pytest.raises(ValueError):
+        code.encode(np.zeros((3, 16), dtype=np.uint8))
+
+
+def test_build_parity_matrix_bounds():
+    with pytest.raises(ValueError):
+        build_parity_matrix(0, 3)
+    with pytest.raises(ValueError):
+        build_parity_matrix(250, 10)
+
+
+def test_decode_matrix_cache_reused():
+    code = RSCode(4, 2)
+    data, parity = _stripe(code, seed=12)
+    available = {0: data[0], 1: data[1], 2: data[2], 4: parity[0]}
+    code.decode(available, wanted=[3])
+    assert len(code._decode_cache) == 1
+    code.decode(available, wanted=[3])
+    assert len(code._decode_cache) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_roundtrip_random_codes(k, r, seed):
+    code = RSCode(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 64), dtype=np.uint8)
+    parity = code.encode(data)
+    # drop r random chunks
+    drop = rng.choice(k + r, size=r, replace=False)
+    chunks = {i: data[i] for i in range(k)}
+    chunks.update({k + j: parity[j] for j in range(r)})
+    available = {i: c for i, c in chunks.items() if i not in set(int(d) for d in drop)}
+    out = code.decode(available)
+    for i in drop:
+        i = int(i)
+        expect = data[i] if i < k else parity[i - k]
+        assert np.array_equal(out[i], expect)

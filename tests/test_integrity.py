@@ -1,0 +1,104 @@
+"""Tests for checksum-guarded degraded reads (silent-corruption handling)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ipmem import IPMem
+from repro.core.config import StoreConfig
+from repro.core.interface import DataLossError
+from repro.core.logecmem import LogECMem
+
+
+def _cfg(**kw):
+    defaults = dict(k=4, r=3, value_size=4096, payload_scale=1 / 16)
+    defaults.update(kw)
+    return StoreConfig(**defaults)
+
+
+def _loaded(cls=LogECMem, n=32):
+    store = cls(_cfg())
+    for i in range(n):
+        store.write(f"user{i}")
+    return store
+
+
+def test_checksums_written_at_seal():
+    store = _loaded()
+    sid = next(iter(store.stripe_index.stripe_ids()))
+    for i in range(store.cfg.k):
+        assert (sid, i) in store.checksums
+    assert (sid, store.cfg.k) in store.checksums  # XOR parity
+
+
+def test_checksums_follow_updates():
+    store = _loaded()
+    sid = store.object_index.lookup("user3").stripe_id
+    seq = store.object_index.lookup("user3").seq_no
+    before = store.checksums[(sid, seq)]
+    store.update("user3")
+    after = store.checksums[(sid, seq)]
+    assert before != after
+    # and the stored values verify
+    assert store._checksum_ok(sid, seq, store.data_chunks[(sid, seq)].buffer)
+    assert store._checksum_ok(sid, store.cfg.k, store.parity_chunks[(sid, 0)])
+
+
+def test_degraded_read_routes_around_corrupt_survivor():
+    """Bit rot in a survivor chunk: detected, excluded, decoded around."""
+    store = _loaded()
+    loc = store.object_index.lookup("user3")
+    sid = loc.stripe_id
+    # corrupt a DIFFERENT data chunk of the same stripe
+    other = next(i for i in range(store.cfg.k) if i != loc.seq_no)
+    store.data_chunks[(sid, other)].buffer[0] ^= 0xFF
+    res = store.degraded_read("user3")
+    assert np.array_equal(res.value, store.expected_value("user3"))
+    assert store.counters["corrupt_chunks_detected"] >= 1
+    assert store.counters["logged_parity_reads"] >= 1  # had to escalate
+
+
+def test_corrupt_xor_parity_detected():
+    store = _loaded()
+    loc = store.object_index.lookup("user3")
+    store.parity_chunks[(loc.stripe_id, 0)][0] ^= 0xFF
+    res = store.degraded_read("user3")
+    assert np.array_equal(res.value, store.expected_value("user3"))
+    assert store.counters["corrupt_chunks_detected"] >= 1
+
+
+def test_corruption_beyond_tolerance_is_data_loss():
+    store = _loaded()
+    loc = store.object_index.lookup("user3")
+    sid = loc.stripe_id
+    # corrupt every other data chunk AND the XOR parity: only r-1 = 2 logged
+    # parities remain for a k=4 decode that's missing 4 chunks
+    for i in range(store.cfg.k):
+        if i != loc.seq_no:
+            store.data_chunks[(sid, i)].buffer[0] ^= 0xFF
+    store.parity_chunks[(sid, 0)][0] ^= 0xFF
+    with pytest.raises(DataLossError):
+        store.degraded_read("user3")
+
+
+def test_ipmem_checksums_on_all_parities():
+    store = _loaded(cls=IPMem)
+    store.update("user3")
+    loc = store.object_index.lookup("user3")
+    sid = loc.stripe_id
+    for j in range(store.cfg.r):
+        assert store._checksum_ok(
+            sid, store.cfg.k + j, store.parity_chunks[(sid, j)]
+        )
+    # corrupt one parity: degraded read routes around it
+    store.parity_chunks[(sid, 0)][0] ^= 0xFF
+    res = store.degraded_read("user3")
+    assert np.array_equal(res.value, store.expected_value("user3"))
+
+
+def test_clean_store_never_flags_corruption():
+    store = _loaded()
+    for i in range(8):
+        store.update(f"user{i}")
+    for i in range(16):
+        store.degraded_read(f"user{i}")
+    assert store.counters["corrupt_chunks_detected"] == 0

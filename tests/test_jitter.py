@@ -1,0 +1,66 @@
+"""Tests for seeded network jitter and variance reporting."""
+
+import pytest
+
+from repro.baselines import make_store
+from repro.bench.runner import run_workload
+from repro.core.config import StoreConfig
+from repro.sim.network import NetworkModel
+from repro.sim.params import HardwareProfile
+from repro.workloads import WorkloadSpec
+
+
+def test_default_profile_is_deterministic():
+    net = NetworkModel(HardwareProfile())
+    assert net.rpc(64, 4096) == net.rpc(64, 4096)
+    assert net._jitter_rng is None
+
+
+def test_jitter_varies_latencies():
+    net = NetworkModel(HardwareProfile(jitter_fraction=0.1, jitter_seed=1))
+    samples = {net.rpc(64, 4096) for _ in range(20)}
+    assert len(samples) > 10
+
+
+def test_jitter_reproducible_per_seed():
+    a = NetworkModel(HardwareProfile(jitter_fraction=0.1, jitter_seed=7))
+    b = NetworkModel(HardwareProfile(jitter_fraction=0.1, jitter_seed=7))
+    c = NetworkModel(HardwareProfile(jitter_fraction=0.1, jitter_seed=8))
+    sa = [a.rpc(64, 4096) for _ in range(10)]
+    sb = [b.rpc(64, 4096) for _ in range(10)]
+    sc = [c.rpc(64, 4096) for _ in range(10)]
+    assert sa == sb
+    assert sa != sc
+
+
+def test_jitter_bounded_below():
+    """Extreme negative draws never produce near-zero or negative time."""
+    net = NetworkModel(HardwareProfile(jitter_fraction=5.0, jitter_seed=2))
+    nominal = HardwareProfile().rtt_s
+    for _ in range(200):
+        assert net.rpc(0, 0) >= 0.2 * nominal * 0.9
+
+
+def test_jitter_mean_close_to_nominal():
+    p = HardwareProfile(jitter_fraction=0.05, jitter_seed=3)
+    net = NetworkModel(p)
+    nominal = NetworkModel(HardwareProfile()).rpc(64, 4096)
+    mean = sum(net.rpc(64, 4096) for _ in range(500)) / 500
+    assert mean == pytest.approx(nominal, rel=0.02)
+
+
+def test_workload_variance_reported():
+    spec = WorkloadSpec.read_update("95:5", n_objects=200, n_requests=300, seed=5)
+    deterministic = make_store("logecmem", StoreConfig(k=4, r=3, payload_scale=1 / 32))
+    res_det = run_workload(deterministic, spec)
+    assert res_det.std_latency_us("read") == pytest.approx(0.0, abs=1e-9)
+
+    cfg = StoreConfig(k=4, r=3, payload_scale=1 / 32)
+    cfg.profile.jitter_fraction = 0.08
+    jittery = make_store("logecmem", cfg)
+    res_jit = run_workload(jittery, spec)
+    assert res_jit.std_latency_us("read") > 1.0  # microseconds of spread
+    # the mean survives the jitter
+    assert res_jit.mean_latency_us("read") == pytest.approx(
+        res_det.mean_latency_us("read"), rel=0.05
+    )

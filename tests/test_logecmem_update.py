@@ -1,0 +1,174 @@
+"""Update-path tests for LogECMem: Figure 7's workflow, delta consistency,
+buffer logging, and the latency advantages §6.3 measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ipmem import IPMem
+from repro.core.config import StoreConfig
+from repro.core.logecmem import LogECMem
+
+
+def _cfg(**kw):
+    defaults = dict(k=4, r=3, value_size=4096, payload_scale=1 / 16)
+    defaults.update(kw)
+    return StoreConfig(**defaults)
+
+
+def _loaded(cfg=None, n=16):
+    store = LogECMem(cfg or _cfg())
+    for i in range(n):
+        store.write(f"user{i}")
+    return store
+
+
+def test_update_changes_value():
+    store = _loaded()
+    before = store.read("user2").value.copy()
+    store.update("user2")
+    after = store.read("user2").value
+    assert not np.array_equal(before, after)
+    assert np.array_equal(after, store.expected_value("user2"))
+
+
+def test_update_keeps_xor_parity_consistent():
+    store = _loaded()
+    store.update("user2")
+    sid = store.object_index.lookup("user2").stripe_id
+    assert store.verify_stripe(sid)
+
+
+def _sealed_keys(store, count):
+    out = []
+    for sid in sorted(store.stripe_index.stripe_ids()):
+        for keys in store.stripe_index.get(sid).chunk_keys:
+            out.extend(keys)
+    assert len(out) >= count, "not enough sealed objects"
+    return out[:count]
+
+
+def test_update_keeps_logged_parities_consistent():
+    store = _loaded(n=24)
+    a, b = _sealed_keys(store, 2)
+    for key in (a, a, b, a):
+        store.update(key)
+    for key in (a, b):
+        sid = store.object_index.lookup(key).stripe_id
+        data = np.stack([store.data_chunks[(sid, i)].buffer for i in range(4)])
+        expect = store.code.encode(data)
+        for j in range(1, 3):
+            assert np.array_equal(store.uptodate_logged_parity(sid, j), expect[j])
+
+
+def test_update_survives_flush_and_settle():
+    """Deltas remain applicable after they reach disk through any path."""
+    cfg = _cfg()
+    cfg.profile.log_flush_threshold_bytes = 4096  # flush after every delta
+    cfg.profile.log_buffer_bytes = 8192
+    store = LogECMem(cfg)
+    for i in range(16):
+        store.write(f"user{i}")
+    for _ in range(6):
+        store.update("user1")
+    store.finalize()
+    sid = store.object_index.lookup("user1").stripe_id
+    data = np.stack([store.data_chunks[(sid, i)].buffer for i in range(4)])
+    expect = store.code.encode(data)
+    for j in range(1, 3):
+        assert np.array_equal(store.uptodate_logged_parity(sid, j), expect[j])
+
+
+def test_update_reads_only_one_parity():
+    """The HybridPL point: one parity read (XOR) vs IPMem's r."""
+    lec = _loaded()
+    lec.update("user2")
+    assert lec.counters["parity_chunk_reads"] == 1
+
+    ip = IPMem(_cfg())
+    for i in range(16):
+        ip.write(f"user{i}")
+    ip.update("user2")
+    assert ip.counters["parity_chunk_reads"] == ip.cfg.r
+
+
+def test_update_sends_delta_per_log_parity():
+    store = _loaded()
+    store.update("user2")
+    assert store.counters["parity_deltas_sent"] == store.cfg.r - 1
+
+
+def test_update_latency_beats_ipmem():
+    """Figure 11's headline: LogECMem < IPMem, and the gap grows with r."""
+    gaps = {}
+    for r in (3, 4):
+        cfg_args = dict(k=6, r=r, value_size=4096, payload_scale=1 / 16)
+        lec = LogECMem(StoreConfig(**cfg_args))
+        ip = IPMem(StoreConfig(**cfg_args))
+        for s in (lec, ip):
+            for i in range(24):
+                s.write(f"user{i}")
+        lat_lec = lec.update("user2").latency_s
+        lat_ip = ip.update("user2").latency_s
+        assert lat_lec < lat_ip
+        gaps[r] = (lat_ip - lat_lec) / lat_ip
+    assert gaps[4] > gaps[3]
+
+
+def test_update_latency_flat_across_k():
+    """Delta-based updates are k-independent (§7 Originalities)."""
+    lats = []
+    for k in (4, 8, 16):
+        store = LogECMem(StoreConfig(k=k, r=3, value_size=4096, payload_scale=1 / 16))
+        for i in range(6 * k):
+            store.write(f"user{i}")
+        key = _sealed_keys(store, 1)[0]
+        lats.append(store.update(key).latency_s)
+    assert max(lats) / min(lats) < 1.05
+
+
+def test_pending_update_before_seal():
+    store = _loaded(n=2)  # unsealed
+    store.update("user1")
+    res = store.read("user1")
+    assert np.array_equal(res.value, store.expected_value("user1"))
+
+
+def test_update_of_logecmem_requires_r_ge_2():
+    with pytest.raises(ValueError):
+        LogECMem(StoreConfig(k=4, r=1))
+
+
+def test_backpressure_surfaces_in_latency():
+    """A glacial log disk eventually stalls updates (bounded backlog)."""
+    cfg = _cfg()
+    cfg.profile.disk_seq_bandwidth_Bps = 1e4
+    cfg.profile.log_flush_threshold_bytes = 8192
+    cfg.profile.log_buffer_bytes = 16384
+    cfg.profile.max_disk_backlog_s = 1e-3
+    store = LogECMem(cfg)
+    for i in range(16):
+        store.write(f"user{i}")
+    lats = []
+    for i in range(30):
+        res = store.update(f"user{i % 16}")
+        store.cluster.clock.advance(res.latency_s)
+        lats.append(res.latency_s)
+    assert max(lats) > min(lats) * 2  # stalled updates are visibly slower
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=25))
+def test_random_update_sequences_keep_all_parities_consistent(sequence):
+    """Property: any update sequence leaves every parity reconstructible."""
+    store = _loaded()
+    for idx in sequence:
+        store.update(f"user{idx}")
+    store.finalize()
+    for sid in store.stripe_index.stripe_ids():
+        data = np.stack([store.data_chunks[(sid, i)].buffer for i in range(4)])
+        expect = store.code.encode(data)
+        assert np.array_equal(store.parity_chunks[(sid, 0)], expect[0])
+        for j in range(1, 3):
+            assert np.array_equal(store.uptodate_logged_parity(sid, j), expect[j])

@@ -1,0 +1,153 @@
+"""Tests for YCSB preset workloads, the latest-distribution chooser, and
+trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_store
+from repro.core.config import StoreConfig
+from repro.workloads import (
+    LatestGenerator,
+    Operation,
+    PRESETS,
+    WorkloadSpec,
+    generate_preset_requests,
+    load_keys,
+    preset_spec,
+    trace,
+)
+from repro.workloads.ycsb import Request
+from repro.bench.runner import run_requests
+
+
+def _spec(n=500, reqs=1000, seed=9):
+    return WorkloadSpec(n_objects=n, n_requests=reqs, read_ratio=1.0,
+                        update_ratio=0.0, seed=seed)
+
+
+# ------------------------------------------------------------------- latest
+
+
+def test_latest_generator_prefers_recent():
+    gen = LatestGenerator(1000, seed=2)
+    draws = gen.sample(5000)
+    assert draws.min() >= 0 and draws.max() < 1000
+    assert np.mean(draws > 900) > 0.5  # most draws near the newest item
+
+
+def test_latest_generator_grow_shifts_window():
+    gen = LatestGenerator(100, seed=3)
+    gen.grow(900)
+    draws = gen.sample(2000)
+    assert draws.max() >= 900
+
+
+def test_latest_generator_validation():
+    with pytest.raises(ValueError):
+        LatestGenerator(0)
+
+
+# ------------------------------------------------------------------ presets
+
+
+def test_preset_definitions_sum_to_one():
+    for name, d in PRESETS.items():
+        assert d.read + d.update + d.insert + d.rmw == pytest.approx(1.0), name
+
+
+def test_preset_spec_builds_valid_workloadspec():
+    spec = preset_spec("A", n_objects=100, n_requests=100)
+    assert spec.read_ratio == pytest.approx(0.5)
+    assert spec.update_ratio == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        preset_spec("Z")
+
+
+def test_workload_a_mix():
+    reqs = generate_preset_requests("A", _spec())
+    ops = [r.op for r in reqs]
+    assert 0.44 < ops.count(Operation.UPDATE) / len(ops) < 0.56
+    assert Operation.WRITE not in ops
+
+
+def test_workload_c_read_only():
+    reqs = generate_preset_requests("C", _spec())
+    assert all(r.op is Operation.READ for r in reqs)
+
+
+def test_workload_d_inserts_and_recency():
+    reqs = generate_preset_requests("D", _spec())
+    inserts = [r for r in reqs if r.op is Operation.WRITE]
+    assert inserts
+    loaded = set(load_keys(_spec()))
+    for r in inserts:
+        assert r.key not in loaded
+
+
+def test_workload_f_pairs_read_then_update():
+    reqs = generate_preset_requests("F", _spec())
+    rmw_pairs = 0
+    for a, b in zip(reqs, reqs[1:]):
+        if a.op is Operation.READ and b.op is Operation.UPDATE and a.key == b.key:
+            rmw_pairs += 1
+    assert rmw_pairs > len(reqs) * 0.15  # ~25% of positions start an RMW pair
+
+
+def test_presets_run_against_a_store():
+    spec = _spec(n=120, reqs=200)
+    for name in ("A", "B", "D", "F"):
+        store = make_store("logecmem", StoreConfig(k=4, r=3, payload_scale=1 / 32))
+        for key in load_keys(spec):
+            store.write(key)
+        result = run_requests(store, generate_preset_requests(name, spec), spec)
+        total = sum(result.op_count(op) for op in ("read", "update", "write"))
+        assert total == spec.n_requests
+
+
+def test_preset_requests_deterministic():
+    assert generate_preset_requests("A", _spec()) == generate_preset_requests("A", _spec())
+
+
+# -------------------------------------------------------------------- trace
+
+
+def test_trace_roundtrip_string():
+    reqs = generate_preset_requests("A", _spec(n=50, reqs=100))
+    assert trace.loads(trace.dumps(reqs)) == reqs
+
+
+def test_trace_roundtrip_file(tmp_path):
+    reqs = [
+        Request(Operation.READ, "k1"),
+        Request(Operation.UPDATE, "k2"),
+        Request(Operation.WRITE, "k3"),
+        Request(Operation.DELETE, "k4"),
+    ]
+    path = tmp_path / "run.trace"
+    trace.save(reqs, path)
+    assert trace.load(path) == reqs
+
+
+def test_trace_rejects_malformed():
+    with pytest.raises(ValueError):
+        trace.loads("X\tkey\n")
+    with pytest.raises(ValueError):
+        trace.loads("no-tab-here\n")
+
+
+def test_trace_skips_blank_lines():
+    assert trace.loads("\nR\tk\n\n") == [Request(Operation.READ, "k")]
+
+
+def test_trace_replay_reproduces_run():
+    """Replaying a recorded trace gives identical latencies and counters."""
+    spec = _spec(n=100, reqs=150)
+    reqs = generate_preset_requests("B", spec)
+    results = []
+    for stream in (reqs, trace.loads(trace.dumps(reqs))):
+        store = make_store("logecmem", StoreConfig(k=4, r=3, payload_scale=1 / 32))
+        for key in load_keys(spec):
+            store.write(key)
+        results.append(run_requests(store, stream, spec))
+    assert results[0].latencies_s == results[1].latencies_s
+    assert results[0].counters == results[1].counters

@@ -1,0 +1,173 @@
+"""Tests for the memcached text-protocol codec and server."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.protocol import (
+    Command,
+    MemcachedServer,
+    ProtocolError,
+    encode_command,
+    encode_value_response,
+    parse_command,
+    parse_value_response,
+)
+
+
+# --------------------------------------------------------------------- codec
+
+
+def test_set_roundtrip():
+    cmd = Command(verb="set", key="user7", flags=3, value=b"hello world")
+    parsed, rest = parse_command(encode_command(cmd))
+    assert parsed == cmd
+    assert rest == b""
+
+
+def test_get_delete_roundtrip():
+    for verb in ("get", "gets", "delete"):
+        cmd = Command(verb=verb, key="k1")
+        parsed, rest = parse_command(encode_command(cmd))
+        assert parsed.verb == verb and parsed.key == "k1"
+        assert rest == b""
+
+
+def test_cas_roundtrip():
+    cmd = Command(verb="cas", key="k", flags=0, value=b"v", cas_token=42)
+    parsed, _ = parse_command(encode_command(cmd))
+    assert parsed.cas_token == 42
+
+
+def test_cas_requires_token():
+    with pytest.raises(ProtocolError):
+        encode_command(Command(verb="cas", key="k", value=b"v"))
+
+
+def test_pipelined_commands_parse_sequentially():
+    data = encode_command(Command("set", "a", 0, b"1")) + encode_command(
+        Command("get", "a")
+    )
+    first, rest = parse_command(data)
+    second, rest = parse_command(rest)
+    assert first.verb == "set" and second.verb == "get"
+    assert rest == b""
+
+
+def test_value_may_contain_crlf():
+    cmd = Command(verb="set", key="k", value=b"a\r\nb\r\nc")
+    parsed, rest = parse_command(encode_command(cmd))
+    assert parsed.value == b"a\r\nb\r\nc"
+    assert rest == b""
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        b"get\r\n",
+        b"get a b\r\n",
+        b"set k 0 0\r\n",
+        b"set k 0 0 x\r\nvalue\r\n",
+        b"bogus k\r\n",
+        b"set k 0 0 5\r\nab\r\n",  # truncated value
+        b"no newline at all",
+    ],
+)
+def test_malformed_commands_raise(bad):
+    with pytest.raises(ProtocolError):
+        parse_command(bad)
+
+
+def test_illegal_keys_rejected():
+    for key in ("", "a b", "x" * 251, "line\nbreak"):
+        with pytest.raises(ProtocolError):
+            encode_command(Command("get", key))
+
+
+def test_value_response_roundtrip():
+    data = encode_value_response("k", 7, b"payload", cas=9)
+    key, flags, value, cas = parse_value_response(data)
+    assert (key, flags, value, cas) == ("k", 7, b"payload", 9)
+
+
+def test_miss_response():
+    assert parse_value_response(b"END\r\n") is None
+
+
+def test_malformed_response_raises():
+    with pytest.raises(ProtocolError):
+        parse_value_response(b"VALUE broken\r\n")
+
+
+@settings(max_examples=40)
+@given(
+    st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=40),
+    st.integers(min_value=0, max_value=65535),
+    st.binary(max_size=200),
+)
+def test_roundtrip_property(key, flags, value):
+    cmd = Command(verb="set", key=key, flags=flags, value=value)
+    parsed, rest = parse_command(encode_command(cmd))
+    assert parsed == cmd and rest == b""
+
+
+# -------------------------------------------------------------------- server
+
+
+def test_server_set_get():
+    s = MemcachedServer()
+    assert s.execute(Command("set", "k", 5, b"hello")) == b"STORED\r\n"
+    out = s.execute(Command("get", "k"))
+    assert parse_value_response(out) == ("k", 5, b"hello", None)
+
+
+def test_server_miss():
+    assert MemcachedServer().execute(Command("get", "nope")) == b"END\r\n"
+
+
+def test_server_delete():
+    s = MemcachedServer()
+    s.execute(Command("set", "k", 0, b"v"))
+    assert s.execute(Command("delete", "k")) == b"DELETED\r\n"
+    assert s.execute(Command("delete", "k")) == b"NOT_FOUND\r\n"
+
+
+def test_server_cas_semantics():
+    s = MemcachedServer()
+    s.execute(Command("set", "k", 0, b"v1"))
+    out = s.execute(Command("gets", "k"))
+    _, _, _, token = parse_value_response(out)
+    # stale token after an interleaved set
+    s.execute(Command("set", "k", 0, b"v2"))
+    assert s.execute(Command("cas", "k", 0, b"v3", cas_token=token)) == b"EXISTS\r\n"
+    # fresh token wins
+    _, _, _, token2 = parse_value_response(s.execute(Command("gets", "k")))
+    assert s.execute(Command("cas", "k", 0, b"v3", cas_token=token2)) == b"STORED\r\n"
+    assert parse_value_response(s.execute(Command("get", "k")))[2] == b"v3"
+
+
+def test_server_cas_on_missing_key():
+    s = MemcachedServer()
+    assert s.execute(Command("cas", "k", 0, b"v", cas_token=1)) == b"NOT_FOUND\r\n"
+
+
+def test_server_handle_pipelined_stream():
+    s = MemcachedServer()
+    stream = (
+        encode_command(Command("set", "a", 0, b"1"))
+        + encode_command(Command("set", "b", 0, b"2"))
+        + encode_command(Command("get", "a"))
+        + encode_command(Command("delete", "b"))
+    )
+    out = s.handle(stream)
+    assert out.count(b"STORED\r\n") == 2
+    assert b"VALUE a" in out
+    assert out.endswith(b"DELETED\r\n")
+
+
+def test_server_memory_accounting_via_memtable():
+    s = MemcachedServer()
+    s.execute(Command("set", "k", 0, b"x" * 100))
+    assert s.table.logical_bytes > 100
+    s.execute(Command("delete", "k"))
+    assert s.table.logical_bytes == 0

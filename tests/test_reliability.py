@@ -1,0 +1,83 @@
+"""Tests for the MTTDL Markov model against Table 2."""
+
+import pytest
+
+from repro.reliability import MarkovModel, mttdl_years, table2
+
+#: every cell of the paper's Table 2 (MTTDL in years)
+PAPER_TABLE2 = {
+    (6, 3): {1: 1.03e9, 10: 9.76e9, 40: 3.89e10, 100: 9.71e10},
+    (10, 4): {1: 6.41e8, 10: 5.88e9, 40: 2.34e10, 100: 5.83e10},
+    (12, 4): {1: 5.44e8, 10: 4.91e9, 40: 1.95e10, 100: 4.86e10},
+    (15, 3): {1: 4.47e8, 10: 3.94e9, 40: 1.56e10, 100: 3.89e10},
+}
+
+
+@pytest.mark.parametrize("code", sorted(PAPER_TABLE2))
+@pytest.mark.parametrize("bandwidth", [1, 10, 40, 100])
+def test_table2_reproduced_within_one_percent(code, bandwidth):
+    k, r = code
+    ours = mttdl_years(k, r, bandwidth)
+    paper = PAPER_TABLE2[code][bandwidth]
+    assert ours == pytest.approx(paper, rel=0.01)
+
+
+def test_table2_full_grid():
+    grid = table2()
+    assert set(grid) == set(PAPER_TABLE2)
+    for code, row in grid.items():
+        assert set(row) == {1, 10, 40, 100}
+
+
+def test_mttdl_increases_with_bandwidth():
+    """§3.1's point: single-failure repair rate dominates reliability."""
+    values = [mttdl_years(6, 3, b) for b in (1, 10, 40, 100)]
+    assert values == sorted(values)
+    # B=100 vs B=1 under (6,3): Table 2's own numbers give a 98.9% increase
+    # (the text's "94.27%" does not match the published table; we follow the
+    # table, which we reproduce cell-for-cell)
+    gain = 1 - values[0] / values[-1]
+    assert gain == pytest.approx(1 - 1.03e9 / 9.71e10, abs=0.005)
+
+
+def test_paper_mode_cross_code_ratio_is_6_over_k():
+    """The reverse-engineered structure of Table 2."""
+    base = mttdl_years(6, 3, 100)
+    for k, r in [(10, 4), (12, 4), (15, 3)]:
+        assert mttdl_years(k, r, 100) / base == pytest.approx(6 / k, rel=0.01)
+
+
+def test_exact_mode_rewards_extra_parity():
+    """The corrected per-code chain: r=4 codes are far more reliable than the
+    paper-mode numbers suggest (the sensitivity analysis of markov.py)."""
+    paper = mttdl_years(10, 4, 10, paper_mode=True)
+    exact = mttdl_years(10, 4, 10, paper_mode=False)
+    assert exact > 10 * paper
+
+
+def test_exact_mode_matches_paper_for_6_3():
+    """(6, 3) is the one code where Figure 4 IS the per-code chain."""
+    assert mttdl_years(6, 3, 10, paper_mode=False) == pytest.approx(
+        mttdl_years(6, 3, 10, paper_mode=True), rel=1e-9
+    )
+
+
+def test_rates_scale_as_documented():
+    m = MarkovModel(k=6, r=3, bandwidth_Gbps=1)
+    m2 = MarkovModel(k=6, r=3, bandwidth_Gbps=2)
+    assert m2.single_repair_rate == pytest.approx(2 * m.single_repair_rate)
+    m_big = MarkovModel(k=12, r=4, bandwidth_Gbps=1)
+    assert m_big.single_repair_rate == pytest.approx(m.single_repair_rate / 2)
+    assert m.multi_repair_rate == pytest.approx(365.25 * 24 * 2)  # 1/30min in years
+
+
+def test_mttdl_decreases_with_failure_rate():
+    fragile = mttdl_years(6, 3, 10, mttf_years=1)
+    sturdy = mttdl_years(6, 3, 10, mttf_years=8)
+    assert sturdy > fragile
+
+
+def test_mttdl_positive_for_all_paper_codes():
+    for (k, r), row in table2(paper_mode=False).items():
+        for b, v in row.items():
+            assert v > 0

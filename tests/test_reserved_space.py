@@ -1,0 +1,105 @@
+"""Tests for PLR reserved-space sizing and overflow extents (CodFS's
+reserved-space tradeoff, §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.ec.delta import ParityDelta
+from repro.logstore import make_scheme
+from repro.logstore.base import ReservedRegion, region_extents
+from repro.logstore.records import LogRecord
+from repro.sim.disk import DiskModel
+from repro.sim.params import HardwareProfile
+
+PHYS = 256
+LOGICAL = 4096
+
+
+def _region(delta_logicals):
+    region = ReservedRegion()
+    region.base = np.zeros(PHYS, dtype=np.uint8)
+    region.base_logical = LOGICAL
+    for nbytes in delta_logicals:
+        region.deltas.append(
+            ParityDelta(0, 1, 0, np.zeros(max(1, nbytes // 16), dtype=np.uint8))
+        )
+        region.delta_logical.append(nbytes)
+    return region
+
+
+def test_unbounded_reserve_is_one_extent():
+    assert region_extents(_region([1000] * 50), reserve_bytes=0) == 1
+
+
+def test_within_reserve_is_one_extent():
+    assert region_extents(_region([1000, 1000]), reserve_bytes=4096) == 1
+    assert region_extents(_region([]), reserve_bytes=4096) == 1
+
+
+def test_overflow_chains_extents():
+    # 10000 delta bytes, 4096 reserve -> 5904 overflow -> 2 spill extents
+    assert region_extents(_region([5000, 5000]), reserve_bytes=4096) == 3
+    assert region_extents(_region([4096]), reserve_bytes=4096) == 1
+    assert region_extents(_region([4097]), reserve_bytes=4096) == 2
+
+
+def _feed(scheme, n_deltas):
+    rng = np.random.default_rng(0)
+    base = rng.integers(0, 256, PHYS, dtype=np.uint8)
+    scheme.flush([LogRecord.for_chunk(1, 1, base, LOGICAL)], now=0.0)
+    expect = base.copy()
+    for i in range(n_deltas):
+        payload = rng.integers(0, 256, 64, dtype=np.uint8)
+        off = (i * 32) % (PHYS - 64)
+        expect[off : off + 64] ^= payload
+        scheme.flush(
+            [LogRecord.for_delta(ParityDelta(1, 1, off, payload), 1024)], now=0.0
+        )
+    return expect
+
+
+def test_small_reserve_costs_repair_reads():
+    small = HardwareProfile(plr_reserve_bytes=2048)
+    big = HardwareProfile(plr_reserve_bytes=0)
+    results = {}
+    for name, profile in (("small", small), ("big", big)):
+        disk = DiskModel(profile)
+        scheme = make_scheme("plr", disk)
+        expect = _feed(scheme, n_deltas=8)  # 8 KiB of deltas vs 2 KiB reserve
+        result = scheme.read_parity(1, 1, PHYS, now=1.0)
+        assert np.array_equal(result.payload, expect)  # correctness unchanged
+        results[name] = result
+    assert results["small"].disk_reads > results["big"].disk_reads
+    assert results["small"].duration_s > results["big"].duration_s
+    assert results["small"].logical_bytes_read == results["big"].logical_bytes_read
+
+
+def test_reserve_affects_all_reserved_schemes():
+    profile = HardwareProfile(plr_reserve_bytes=1024)
+    for name in ("plr", "plr-m", "plm"):
+        scheme = make_scheme(name, DiskModel(profile))
+        _feed(scheme, n_deltas=8)
+        scheme.settle(now=0.0)
+        result = scheme.read_parity(1, 1, PHYS, now=1.0)
+        assert result.disk_reads >= 1
+
+
+def test_plm_merging_avoids_overflow():
+    """PLM's lazy merge collapses deltas, staying inside a reserve PLR blows."""
+    profile = HardwareProfile(plr_reserve_bytes=2048)
+    plr = make_scheme("plr", DiskModel(profile))
+    plm = make_scheme("plm", DiskModel(profile))
+    rng = np.random.default_rng(1)
+    base = rng.integers(0, 256, PHYS, dtype=np.uint8)
+    for scheme in (plr, plm):
+        scheme.flush([LogRecord.for_chunk(1, 1, base, LOGICAL)], now=0.0)
+        for i in range(8):  # same 64-byte range over and over
+            payload = rng.integers(0, 256, 64, dtype=np.uint8)
+            scheme.flush(
+                [LogRecord.for_delta(ParityDelta(1, 1, 0, payload), 1024)], now=0.0
+            )
+        scheme.settle(now=0.0)
+    r_plr = plr.read_parity(1, 1, PHYS, now=1.0)
+    r_plm = plm.read_parity(1, 1, PHYS, now=1.0)
+    assert r_plr.disk_reads > 1      # 8 KiB of raw deltas overflow the reserve
+    assert r_plm.disk_reads == 1     # one merged delta fits

@@ -1,0 +1,55 @@
+"""Larger-scale smoke test: the headline shapes must hold an order of
+magnitude above the default bench scale (guards against artefacts of tiny
+populations like pending-object skew or empty log buffers)."""
+
+import pytest
+
+from repro.baselines import make_store
+from repro.bench.runner import run_workload
+from repro.core.config import StoreConfig
+from repro.core.scrub import scrub
+from repro.workloads import WorkloadSpec
+
+N = 10_000
+
+
+@pytest.fixture(scope="module")
+def big_runs():
+    out = {}
+    spec = WorkloadSpec.read_update("50:50", n_objects=N, n_requests=N, seed=42)
+    for name in ("ipmem", "fsmem", "logecmem"):
+        store = make_store(
+            name, StoreConfig(k=6, r=3, value_size=4096, payload_scale=1 / 64)
+        )
+        out[name] = (store, run_workload(store, spec))
+    return out
+
+
+def test_shapes_hold_at_scale(big_runs):
+    lat = {name: res.mean_latency_us("update") for name, (_, res) in big_runs.items()}
+    mem = {name: res.memory_bytes for name, (_, res) in big_runs.items()}
+    # LogECMem < IPMem on latency; FSMem wins at 50:50 with k=6; LogECMem
+    # lowest memory -- all exactly as at bench scale
+    assert lat["logecmem"] < lat["ipmem"]
+    assert lat["fsmem"] < lat["logecmem"]
+    assert mem["logecmem"] < min(mem["ipmem"], mem["fsmem"])
+
+
+def test_memory_factors_at_scale(big_runs):
+    _, lec = big_runs["logecmem"]
+    _, ip = big_runs["ipmem"]
+    data = N * 4096
+    assert lec.memory_bytes / data == pytest.approx(7 / 6, rel=0.03)
+    assert ip.memory_bytes / data == pytest.approx(9 / 6, rel=0.03)
+
+
+def test_store_integrity_at_scale(big_runs):
+    store, _ = big_runs["logecmem"]
+    report = scrub(store)
+    assert report.clean
+    assert report.stripes_checked > 1500
+
+
+def test_pending_fraction_negligible_at_scale(big_runs):
+    store, _ = big_runs["logecmem"]
+    assert len(store._pending) < 0.01 * N

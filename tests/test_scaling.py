@@ -1,0 +1,154 @@
+"""Tests for cluster scaling: DRAM node join and decommission."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.core.logecmem import LogECMem
+from repro.core.scaling import add_dram_node, decommission_dram_node
+from repro.core.scrub import scrub
+
+
+def _cfg(**kw):
+    defaults = dict(k=4, r=3, value_size=4096, payload_scale=1 / 16)
+    defaults.update(kw)
+    return StoreConfig(**defaults)
+
+
+def _loaded(n=32):
+    store = LogECMem(_cfg())
+    for i in range(n):
+        store.write(f"user{i}")
+    return store
+
+
+# ---------------------------------------------------------------------- join
+
+
+def test_join_adds_ring_member_and_queue():
+    store = _loaded()
+    before = len(store.cluster.dram_nodes)
+    report = add_dram_node(store)
+    assert len(store.cluster.dram_nodes) == before + 1
+    assert report.node_id in store.cluster.dram_nodes
+    assert report.chunks_moved == 0
+    assert report.node_id in store._full_units
+
+
+def test_join_is_metadata_only_for_existing_stripes():
+    store = _loaded()
+    placements = {
+        sid: list(store.stripe_index.get(sid).chunk_nodes)
+        for sid in store.stripe_index.stripe_ids()
+    }
+    add_dram_node(store)
+    for sid, nodes in placements.items():
+        assert store.stripe_index.get(sid).chunk_nodes == nodes
+
+
+def test_joined_node_receives_new_stripes():
+    store = _loaded(n=16)
+    report = add_dram_node(store)
+    for i in range(16, 120):
+        store.write(f"user{i}")
+    used = any(
+        report.node_id in store.stripe_index.get(sid).chunk_nodes
+        for sid in store.stripe_index.stripe_ids()
+    )
+    assert used
+    assert scrub(store).clean
+
+
+def test_join_rejects_duplicate_id():
+    store = _loaded()
+    with pytest.raises(ValueError):
+        add_dram_node(store, "dram0")
+    with pytest.raises(ValueError):
+        add_dram_node(store, "log0")
+
+
+# -------------------------------------------------------------- decommission
+
+
+def test_decommission_needs_spare_node():
+    store = _loaded()
+    with pytest.raises(ValueError):
+        decommission_dram_node(store, "dram0")  # only k+1 nodes present
+
+
+def test_decommission_moves_all_chunks():
+    store = _loaded()
+    add_dram_node(store)
+    victim = "dram1"
+    stripes = store.stripe_index.stripes_on_node(victim)
+    report = decommission_dram_node(store, victim)
+    assert report.chunks_moved == len(stripes)  # one chunk per stripe per node
+    assert victim not in store.cluster.dram_nodes
+    assert victim not in store.cluster.ring.nodes
+    for sid in stripes:
+        assert victim not in store.stripe_index.get(sid).chunk_nodes
+
+
+def test_decommission_preserves_distinct_placement_invariant():
+    store = _loaded(n=48)
+    add_dram_node(store)
+    decommission_dram_node(store, "dram2")
+    for sid in store.stripe_index.stripe_ids():
+        rec = store.stripe_index.get(sid)
+        dram_nodes = rec.chunk_nodes[: store.cfg.k + 1]
+        assert len(set(dram_nodes)) == store.cfg.k + 1
+
+
+def test_decommission_keeps_data_readable():
+    store = _loaded(n=48)
+    expect = {f"user{i}": store.expected_value(f"user{i}") for i in range(48)}
+    add_dram_node(store)
+    decommission_dram_node(store, "dram0")
+    for key, value in expect.items():
+        assert np.array_equal(store.read(key).value, value), key
+    # degraded reads and updates still work after the move
+    store.update("user7")
+    res = store.degraded_read("user7")
+    assert np.array_equal(res.value, store.expected_value("user7"))
+    assert scrub(store).clean
+
+
+def test_decommission_requeues_pending_objects():
+    store = _loaded(n=30)  # likely leaves pendings
+    add_dram_node(store)
+    pending_before = set(store._pending)
+    victim = next(iter(store.cluster.dram_ids()))
+    decommission_dram_node(store, victim)
+    # every previously-pending object is still readable
+    for key in pending_before:
+        assert store.read(key).value is not None
+
+
+def test_decommission_moves_memory_accounting():
+    store = _loaded(n=48)
+    add_dram_node(store)
+    total_before = store.memory_logical_bytes
+    decommission_dram_node(store, "dram3")
+    assert store.memory_logical_bytes == total_before  # moved, not lost
+
+
+def test_decommission_rejects_dead_or_unknown():
+    store = _loaded()
+    add_dram_node(store)
+    store.cluster.kill("dram1")
+    with pytest.raises(ValueError):
+        decommission_dram_node(store, "dram1")
+    with pytest.raises(KeyError):
+        decommission_dram_node(store, "nope")
+
+
+def test_join_then_decommission_roundtrip():
+    store = _loaded(n=48)
+    report = add_dram_node(store)
+    for i in range(48, 80):
+        store.write(f"user{i}")
+    decommission_dram_node(store, report.node_id)
+    for i in range(80):
+        key = f"user{i}"
+        assert np.array_equal(store.read(key).value, store.expected_value(key)), key
+    assert scrub(store).clean

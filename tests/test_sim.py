@@ -1,0 +1,239 @@
+"""Tests for the simulation substrate (clock, resources, network, disk, events)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Counters,
+    DiskModel,
+    EventQueue,
+    HardwareProfile,
+    NetworkModel,
+    Resource,
+    SimClock,
+)
+
+
+# --------------------------------------------------------------------- clock
+
+
+def test_clock_advances():
+    c = SimClock()
+    assert c.advance(1.5) == 1.5
+    assert c.advance(0.5) == 2.0
+    assert c.now == 2.0
+
+
+def test_clock_rejects_negative():
+    c = SimClock()
+    with pytest.raises(ValueError):
+        c.advance(-1)
+
+
+def test_clock_advance_to_is_monotonic():
+    c = SimClock(5.0)
+    assert c.advance_to(3.0) == 5.0  # no going back
+    assert c.advance_to(7.0) == 7.0
+
+
+def test_clock_reset():
+    c = SimClock(9.0)
+    c.reset()
+    assert c.now == 0.0
+
+
+# ------------------------------------------------------------------ resource
+
+
+def test_resource_fifo_reservation():
+    r = Resource("disk")
+    done1 = r.reserve(now=0.0, duration=2.0)
+    done2 = r.reserve(now=1.0, duration=1.0)  # queued behind job 1
+    assert done1 == 2.0
+    assert done2 == 3.0
+    assert r.busy_s == 3.0
+    assert r.jobs == 2
+
+
+def test_resource_idle_gap_not_counted_busy():
+    r = Resource("nic")
+    r.reserve(now=0.0, duration=1.0)
+    r.reserve(now=5.0, duration=1.0)  # arrives after an idle gap
+    assert r.free_at == 6.0
+    assert r.busy_s == 2.0
+
+
+def test_resource_wait():
+    r = Resource("disk")
+    r.reserve(now=0.0, duration=4.0)
+    assert r.wait_s(1.0) == 3.0
+    assert r.wait_s(10.0) == 0.0
+
+
+def test_resource_utilisation():
+    r = Resource("disk")
+    r.reserve(now=0.0, duration=2.0)
+    assert r.utilisation(4.0) == 0.5
+    assert r.utilisation(0.0) == 0.0
+
+
+def test_resource_negative_duration():
+    with pytest.raises(ValueError):
+        Resource("x").reserve(0.0, -1.0)
+
+
+# ------------------------------------------------------------------ counters
+
+
+def test_counters_add_get_merge():
+    a = Counters()
+    a.add("x")
+    a.add("x", 2)
+    assert a["x"] == 3
+    assert a["missing"] == 0
+    b = Counters()
+    b.add("x", 5)
+    b.add("y", 1)
+    a.merge(b)
+    assert a["x"] == 8
+    assert a["y"] == 1
+    a.reset()
+    assert a.as_dict() == {}
+
+
+# ------------------------------------------------------------------- network
+
+
+def test_network_rpc_latency_components():
+    p = HardwareProfile(rtt_s=100e-6, net_bandwidth_Bps=1e9, rpc_overhead_s=10e-6)
+    net = NetworkModel(p)
+    t = net.rpc(0, 1000)
+    assert t == pytest.approx(100e-6 + 1e-6 + 10e-6)
+
+
+def test_sequential_gets_scale_linearly():
+    p = HardwareProfile()
+    net = NetworkModel(p)
+    one = net.sequential_gets([4096])
+    four = NetworkModel(p).sequential_gets([4096] * 4)
+    assert four == pytest.approx(4 * one)
+
+
+def test_parallel_puts_share_round_trip():
+    p = HardwareProfile()
+    one = NetworkModel(p).parallel_puts([4096])
+    four = NetworkModel(p).parallel_puts([4096] * 4)
+    # fan-out pays extra wire+dispatch but NOT extra round trips
+    assert four < 4 * one
+    assert four > one
+
+
+def test_parallel_puts_empty_is_free():
+    assert NetworkModel(HardwareProfile()).parallel_puts([]) == 0.0
+    assert NetworkModel(HardwareProfile()).parallel_gets([]) == 0.0
+
+
+def test_network_counts_bytes_and_rpcs():
+    net = NetworkModel(HardwareProfile())
+    net.rpc(100, 200)
+    net.parallel_puts([1000, 1000])
+    c = net.counters
+    assert c["net_rpcs"] == 3
+    assert c["net_bytes"] >= 2300
+    assert c["chunk_writes"] == 2
+
+
+def test_sequential_gets_count_chunk_reads():
+    net = NetworkModel(HardwareProfile())
+    net.sequential_gets([10, 20, 30])
+    assert net.counters["chunk_reads"] == 3
+
+
+# ---------------------------------------------------------------------- disk
+
+
+def test_disk_sequential_vs_random_cost():
+    p = HardwareProfile(disk_seek_s=1e-3, disk_io_overhead_s=0.0)
+    d = DiskModel(p)
+    seq = d.write(1 << 20, sequential=True)
+    rnd = d.write(1 << 20, sequential=False)
+    assert rnd == pytest.approx(seq + 1e-3)
+
+
+def test_disk_counts_ios_and_seeks():
+    d = DiskModel(HardwareProfile())
+    d.write(100, sequential=True)
+    d.write(100, sequential=False)
+    d.read(100, sequential=False)
+    s = d.stats
+    assert s.io_count == 3
+    assert s.writes == 2
+    assert s.reads == 1
+    assert s.seeks == 2
+    assert s.write_bytes == 200
+    assert s.read_bytes == 100
+
+
+def test_disk_backlog_accumulates():
+    p = HardwareProfile(disk_seq_bandwidth_Bps=1e6, disk_io_overhead_s=0.0)
+    d = DiskModel(p)
+    d.write(1_000_000, sequential=True, now=0.0)  # 1 second of IO
+    assert d.backlog_s(0.5) == pytest.approx(0.5)
+    assert d.backlog_s(2.0) == 0.0
+
+
+def test_disk_reset():
+    d = DiskModel(HardwareProfile())
+    d.write(10, sequential=False)
+    d.reset()
+    assert d.stats.io_count == 0
+    assert d.resource.busy_s == 0.0
+
+
+# -------------------------------------------------------------------- events
+
+
+def test_event_queue_fires_in_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(2.0, lambda t: fired.append(("b", t)))
+    q.schedule(1.0, lambda t: fired.append(("a", t)))
+    q.schedule(3.0, lambda t: fired.append(("c", t)))
+    assert q.run_until(2.5) == 2
+    assert fired == [("a", 1.0), ("b", 2.0)]
+    assert q.next_time() == 3.0
+    assert q.drain() == 1
+    assert len(q) == 0
+
+
+def test_event_queue_stable_tie_order():
+    q = EventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(1.0, lambda t, i=i: fired.append(i))
+    q.run_until(1.0)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_event_queue_clear():
+    q = EventQueue()
+    q.schedule(1.0, lambda t: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.next_time() is None
+
+
+# ----------------------------------------------------------------- profile
+
+
+def test_profile_helpers():
+    p = HardwareProfile(net_bandwidth_Bps=1e9, encode_bandwidth_Bps=2e9, mem_bandwidth_Bps=4e9)
+    assert p.transfer_s(1e9) == pytest.approx(1.0)
+    assert p.encode_s(2e9) == pytest.approx(1.0)
+    assert p.memcpy_s(4e9) == pytest.approx(1.0)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_transfer_nonnegative(nbytes):
+    assert HardwareProfile().transfer_s(nbytes) >= 0

@@ -1,0 +1,154 @@
+"""Tests for the Zipfian generators and YCSB-style workload specs."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Operation,
+    ScrambledZipfian,
+    WorkloadSpec,
+    ZipfianGenerator,
+    generate_requests,
+    load_keys,
+)
+from repro.workloads.ycsb import object_key, update_trace
+from repro.workloads.zipf import fnv1a_64, zeta
+
+
+# ---------------------------------------------------------------------- zipf
+
+
+def test_zeta_small_values():
+    assert zeta(1, 0.99) == pytest.approx(1.0)
+    assert zeta(2, 0.5) == pytest.approx(1 + 1 / 2**0.5)
+    assert zeta(0, 0.99) == 0.0
+
+
+def test_zipfian_range_and_skew():
+    gen = ZipfianGenerator(1000, seed=1)
+    draws = gen.sample(20_000)
+    assert draws.min() >= 0
+    assert draws.max() < 1000
+    # rank 0 must dominate: with theta=0.99 it gets ~13% of the mass
+    share0 = np.mean(draws == 0)
+    assert share0 > 0.08
+    # and the tail is long: at least 100 distinct items appear
+    assert len(np.unique(draws)) > 100
+
+
+def test_zipfian_next_matches_sample_distribution():
+    gen_a = ZipfianGenerator(100, seed=7)
+    gen_b = ZipfianGenerator(100, seed=7)
+    singles = np.array([gen_a.next() for _ in range(2000)])
+    batch = gen_b.sample(2000)
+    # same RNG stream, same transformation -> identical draws
+    assert np.array_equal(singles, batch)
+
+
+def test_zipfian_validation():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.5)
+
+
+def test_fnv_hash_deterministic_and_spreading():
+    assert fnv1a_64(12345) == fnv1a_64(12345)
+    hashes = {fnv1a_64(i) % 1000 for i in range(100)}
+    assert len(hashes) > 90  # near-injective over small ranges
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    plain = ZipfianGenerator(1000, seed=3).sample(5000)
+    scrambled = ScrambledZipfian(1000, seed=3).sample(5000)
+    # same skew (top item share), different identity of the hot key
+    top_plain = np.bincount(plain).argmax()
+    top_scrambled = np.bincount(scrambled, minlength=1000).argmax()
+    assert top_plain == 0
+    assert top_scrambled != 0
+    assert scrambled.min() >= 0 and scrambled.max() < 1000
+
+
+def test_scrambled_deterministic_per_seed():
+    a = ScrambledZipfian(500, seed=9).sample(100)
+    b = ScrambledZipfian(500, seed=9).sample(100)
+    c = ScrambledZipfian(500, seed=10).sample(100)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+# ---------------------------------------------------------------------- ycsb
+
+
+def test_spec_ratio_parsers():
+    ru = WorkloadSpec.read_update("80:20")
+    assert ru.read_ratio == 0.8 and ru.update_ratio == 0.2 and ru.write_ratio == 0.0
+    rw = WorkloadSpec.read_write("95:5")
+    assert rw.read_ratio == 0.95 and rw.write_ratio == 0.05 and rw.update_ratio == 0.0
+
+
+def test_spec_validates_ratios():
+    with pytest.raises(ValueError):
+        WorkloadSpec(read_ratio=0.5, update_ratio=0.2, write_ratio=0.2)
+    with pytest.raises(ValueError):
+        WorkloadSpec(n_objects=0)
+
+
+def test_load_keys_fifo_order():
+    spec = WorkloadSpec(n_objects=10)
+    keys = load_keys(spec)
+    assert keys[0] == object_key(0)
+    assert keys == sorted(keys)
+    assert len(set(keys)) == 10
+    assert all(len(k) == 20 for k in keys)  # ~20-byte keys as in the paper
+
+
+def test_generate_requests_respects_mix():
+    spec = WorkloadSpec(
+        n_objects=1000, n_requests=5000, read_ratio=0.7, update_ratio=0.3, seed=5
+    )
+    reqs = generate_requests(spec)
+    assert len(reqs) == 5000
+    ops = [r.op for r in reqs]
+    read_share = ops.count(Operation.READ) / len(ops)
+    assert 0.67 < read_share < 0.73
+    assert Operation.WRITE not in ops
+
+
+def test_generate_requests_writes_insert_fresh_keys():
+    spec = WorkloadSpec(
+        n_objects=100, n_requests=200, read_ratio=0.5, update_ratio=0.0,
+        write_ratio=0.5, seed=6,
+    )
+    reqs = generate_requests(spec)
+    loaded = set(load_keys(spec))
+    for r in reqs:
+        if r.op is Operation.WRITE:
+            assert r.key not in loaded
+        else:
+            assert r.key in loaded
+    write_keys = [r.key for r in reqs if r.op is Operation.WRITE]
+    assert len(set(write_keys)) == len(write_keys)  # inserts never collide
+
+
+def test_generate_requests_deterministic():
+    spec = WorkloadSpec(n_objects=100, n_requests=100, seed=11)
+    assert generate_requests(spec) == generate_requests(spec)
+
+
+def test_update_trace_matches_request_stream():
+    spec = WorkloadSpec(n_objects=500, n_requests=2000, read_ratio=0.5,
+                        update_ratio=0.5, seed=13)
+    trace = update_trace(spec)
+    reqs = generate_requests(spec)
+    from_reqs = [int(r.key[4:]) for r in reqs if r.op is Operation.UPDATE]
+    assert list(trace) == from_reqs
+
+
+def test_update_trace_zipf_skew():
+    spec = WorkloadSpec(n_objects=10_000, n_requests=20_000, read_ratio=0.5,
+                        update_ratio=0.5, seed=17)
+    trace = update_trace(spec)
+    counts = np.bincount(trace, minlength=spec.n_objects)
+    # heavy skew: the hottest object gets far more than uniform share
+    assert counts.max() > 20 * trace.size / spec.n_objects
