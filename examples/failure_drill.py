@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Failure drill: walk LogECMem through every repair path the paper designs.
+"""Failure drill: walk LogECMem through the paper's repair paths, driven by
+the chaos harness (``repro.chaos``) with a scripted fault schedule.
 
-1. Transient chunk unavailability -> degraded read from DRAM (XOR fast path).
-2. Two DRAM nodes down -> degraded reads that materialise a logged parity
-   from disk (§5.2).
-3. Whole-node loss -> node repair, with and without log-assist (§5.3).
+1. Transient blip -> degraded reads from DRAM (XOR fast path), healed retry.
+2. Permanent DRAM crash -> degraded reads, then whole-node repair (§5.3).
+3. Log-node crash -> buffer lost, parities rebuilt from DRAM state (§3.3.2).
+4. The invariant sweep: everything acked is still bit-exact.
 
 Run:  python examples/failure_drill.py
 """
@@ -13,6 +14,7 @@ import numpy as np
 
 from repro.analysis import format_table
 from repro.bench.runner import load_store
+from repro.chaos import FaultEvent, FaultKind, FaultSchedule, run_chaos
 from repro.core import LogECMem, StoreConfig
 from repro.core.repair import repair_node
 from repro.workloads import WorkloadSpec
@@ -20,53 +22,42 @@ from repro.workloads import WorkloadSpec
 config = StoreConfig(k=6, r=3, value_size=4096, scheme="plm")
 spec = WorkloadSpec.read_update("80:20", n_objects=600, n_requests=600, seed=3)
 
+# ------------------------------------------------- scripted chaos run
 store = LogECMem(config)
-load_store(store, spec)
-for i in range(120):  # create parity deltas so the log path has real work
-    store.update(f"user{i % 600:016d}")
-store.finalize()
-print(f"loaded {spec.n_objects} objects, {len(store.stripe_index)} stripes, "
-      f"120 updates logged\n")
+schedule = FaultSchedule([
+    FaultEvent(0.005, FaultKind.BLIP, "dram2", duration_s=0.002),
+    FaultEvent(0.015, FaultKind.CRASH, "dram0"),
+    FaultEvent(0.030, FaultKind.CRASH, "log0"),
+    FaultEvent(0.045, FaultKind.SLOW, "dram4", duration_s=0.01, magnitude=8.0),
+])
+report = run_chaos(store, spec, schedule=schedule)
+print("scripted drill (blip + DRAM crash + log crash + straggler):\n")
+print(report.summary())
+print("\ntimeline:")
+for t, text in report.timeline:
+    print(f"  {t * 1e3:8.3f} ms  {text}")
+assert report.violations == 0
+assert report.degraded_reads > 0
 
-# 1. single failure --------------------------------------------------------
-key = "user0000000000000007"
-normal = store.read(key).latency_s
-degraded = store.degraded_read(key)
-assert np.array_equal(degraded.value, store.expected_value(key))
-print("1) transient unavailability:")
-print(f"   normal read {normal * 1e6:.0f} us -> degraded read "
-      f"{degraded.latency_s * 1e6:.0f} us (k-1 data + XOR, all DRAM)\n")
+# --------------------------------------- the same drill, Poisson-generated
+store = LogECMem(StoreConfig(k=6, r=3, value_size=4096, scheme="plm"))
+report2 = run_chaos(store, spec, expected_faults=5.0)
+print(f"\nseeded Poisson drill: {sum(report2.faults_fired.values())} faults "
+      f"{report2.faults_fired}, {report2.degraded_reads} degraded reads, "
+      f"{report2.violations} violations, fingerprint {report2.fingerprint()}")
+assert report2.violations == 0
 
-# 2. two DRAM nodes down ---------------------------------------------------
-store.cluster.kill("dram0")
-store.cluster.kill("dram1")
-hits = []
-for i in range(600):
-    k = f"user{i:016d}"
-    loc = store.object_index.get(k)
-    if loc is None:
-        continue
-    node = store.stripe_index.get(loc.stripe_id).chunk_nodes[loc.seq_no]
-    if node in ("dram0", "dram1"):
-        res = store.read(k)
-        assert np.array_equal(res.value, store.expected_value(k))
-        hits.append(res.latency_s)
-    if len(hits) >= 25:
-        break
-print("2) two DRAM nodes down (multi-chunk failures):")
-print(f"   {len(hits)} degraded reads through logged parities, mean "
-      f"{sum(hits) / len(hits) * 1e6:.0f} us; "
-      f"log-node disk reads: {store.counters['logged_parity_disk_reads']:.0f}\n")
-store.cluster.restore("dram0")
-store.cluster.restore("dram1")
-
-# 3. node repair -----------------------------------------------------------
-print("3) whole-node repair (log-assist on/off):")
+# ------------------------------------------------ repair cost comparison
+print("\nwhole-node repair (log-assist on/off):")
 rows = []
 for assist in (False, True):
     drill = LogECMem(StoreConfig(k=6, r=3, value_size=4096, scheme="plm"))
     load_store(drill, spec)
+    key = "user0000000000000007"
     drill.cluster.kill("dram3")
+    if drill.object_index.get(key) is not None:
+        res = drill.read(key)  # reads keep working while the node is down
+        assert np.array_equal(res.value, drill.expected_value(key))
     result = repair_node(drill, "dram3", log_assist=assist)
     rows.append([
         "log-assist" if assist else "DRAM-only",

@@ -24,11 +24,12 @@ class IPMem(StripedStoreBase):
     def _update_impl(self, key: str, tombstone: bool) -> OpResult:
         cfg = self.cfg
         sid, seq, node_id, chunk, slot = self._locate(key)
-        if not self.cluster.dram_nodes[node_id].alive:
+        if not self._dram_reachable(node_id):
             from repro.core.striped import ChunkUnavailableError
 
             raise ChunkUnavailableError(
-                f"cannot update {key!r}: its node {node_id} is down (repair first)"
+                f"cannot update {key!r}: its node {node_id} is down or "
+                f"unreachable (repair first)"
             )
         new_version = self.versions[key] + 1
         new_value = (

@@ -16,9 +16,8 @@ from repro.baselines import make_store
 from repro.core.config import StoreConfig
 from repro.core.logecmem import LogECMem
 from repro.core.repair import repair_node
-from repro.workloads.ycsb import WorkloadSpec, load_keys
+from repro.workloads.ycsb import WorkloadSpec
 from repro.bench.runner import (
-    load_store,
     measure_degraded_reads,
     run_workload,
 )

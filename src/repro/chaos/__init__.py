@@ -1,0 +1,50 @@
+"""Fault injection and chaos testing for the simulated stores.
+
+Layering (bottom up):
+
+* :mod:`repro.chaos.schedule`   -- seeded fault schedules (data);
+* :mod:`repro.chaos.faults`     -- apply faults to the simulated machines;
+* :mod:`repro.chaos.policy`     -- proxy-side timeouts/retries/degraded reads;
+* :mod:`repro.chaos.invariants` -- what must hold after any fault sequence;
+* :mod:`repro.chaos.harness`    -- seeded end-to-end runs emitting a report.
+"""
+
+from repro.chaos.faults import FaultInjector
+from repro.chaos.harness import ChaosReport, ChaosRun, run_chaos
+from repro.chaos.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_durability,
+    check_log_replay,
+    check_parity_consistency,
+    check_store,
+)
+from repro.chaos.policy import OpOutcome, RetryPolicy, RobustProxy
+from repro.chaos.schedule import (
+    DEFAULT_WEIGHTS,
+    TRANSIENT_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "TRANSIENT_KINDS",
+    "ChaosReport",
+    "ChaosRun",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "InvariantReport",
+    "InvariantViolation",
+    "OpOutcome",
+    "RetryPolicy",
+    "RobustProxy",
+    "check_durability",
+    "check_log_replay",
+    "check_parity_consistency",
+    "check_store",
+    "run_chaos",
+]

@@ -1,0 +1,91 @@
+"""Fault primitives: apply a :class:`FaultEvent` to the simulated machines.
+
+The injector is the only piece of the chaos subsystem that mutates cluster
+state.  It acts purely on the substrate -- :class:`~repro.cluster.topology.
+Cluster` alive flags, :class:`~repro.sim.network.NetworkModel` degradation
+state, :class:`~repro.sim.disk.DiskModel` stall windows -- and schedules the
+*end* of every transient fault on an :class:`~repro.sim.events.EventQueue`
+supplied by the caller.  Repair and recovery (which need store-level
+knowledge) live in :mod:`repro.chaos.harness`, keeping the layering clean:
+``faults`` knows machines, ``harness`` knows stores.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.schedule import FaultEvent, FaultKind
+from repro.cluster.topology import Cluster
+from repro.sim.events import EventQueue
+
+
+class FaultInjector:
+    """Applies fault events to a cluster and records an observable timeline."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.net = cluster.network
+        #: (sim time, human-readable description) of every state transition
+        self.timeline: list[tuple[float, str]] = []
+        self.applied: dict[str, int] = {}
+
+    def note(self, when: float, text: str) -> None:
+        """Record one timeline entry (harness recovery actions use this too)."""
+        self.timeline.append((when, text))
+
+    def apply(self, event: FaultEvent, now: float, restore_queue: EventQueue) -> None:
+        """Fire one fault at ``now``; transient ends go on ``restore_queue``."""
+        nid = event.node_id
+        self.cluster.node(nid)  # raises UnknownNodeError early for bad targets
+        self.applied[event.kind.value] = self.applied.get(event.kind.value, 0) + 1
+
+        if event.kind is FaultKind.CRASH:
+            if self.cluster.kill(nid, now=now):
+                self.note(now, f"crash {nid}")
+            else:
+                self.note(now, f"crash {nid} (already down)")
+
+        elif event.kind is FaultKind.BLIP:
+            if self.cluster.kill(nid, now=now):
+                self.note(now, f"blip {nid} down")
+                restore_queue.schedule(
+                    now + event.duration_s, lambda t, n=nid: self._restore_node(n, t)
+                )
+            else:
+                self.note(now, f"blip {nid} (already down)")
+
+        elif event.kind is FaultKind.STALL:
+            node = self.cluster.log_nodes.get(nid)
+            if node is None:
+                raise ValueError(f"stall fault targets a non-log node {nid!r}")
+            node.disk.inject_stall(now, event.duration_s)
+            self.note(now, f"disk stall {nid} {event.duration_s:g}s")
+
+        elif event.kind is FaultKind.SLOW:
+            self.net.set_node_slowdown(nid, event.magnitude)
+            self.note(now, f"slow {nid} x{event.magnitude:g}")
+            restore_queue.schedule(
+                now + event.duration_s, lambda t, n=nid: self._end_slow(n, t)
+            )
+
+        elif event.kind is FaultKind.PARTITION:
+            self.net.set_link_down(nid)
+            self.note(now, f"partition {nid}")
+            restore_queue.schedule(
+                now + event.duration_s, lambda t, n=nid: self._heal_partition(n, t)
+            )
+
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    # -- transient-fault endings ------------------------------------------------
+
+    def _restore_node(self, nid: str, when: float) -> None:
+        if self.cluster.restore(nid, now=when):
+            self.note(when, f"blip {nid} restored")
+
+    def _end_slow(self, nid: str, when: float) -> None:
+        self.net.clear_node_slowdown(nid)
+        self.note(when, f"slow {nid} ended")
+
+    def _heal_partition(self, nid: str, when: float) -> None:
+        self.net.restore_link(nid)
+        self.note(when, f"partition {nid} healed")

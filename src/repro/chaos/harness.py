@@ -1,0 +1,412 @@
+"""End-to-end chaos runs: workload + fault schedule + repair + invariants.
+
+:func:`run_chaos` drives any of the five stores through a YCSB-style
+workload while a seeded :class:`~repro.chaos.schedule.FaultSchedule` fires
+against the cluster.  Two deterministic event queues carry the asynchrony:
+
+* ``faults_q``   -- the schedule itself, pre-loaded;
+* ``recovery_q`` -- endings the faults spawn: blip restores, partition
+  heals, straggler recoveries, node repairs (``core/repair.py``) and
+  log-node crash recoveries (``core/recovery.py``).
+
+Requests go through a :class:`~repro.chaos.policy.RobustProxy`; its backoff
+waits advance the simulated clock and pump both queues, so transient faults
+heal *while* the proxy is retrying -- the behaviour the paper's availability
+argument depends on.  The run ends with the invariant sweep
+(:mod:`repro.chaos.invariants`) and emits a :class:`ChaosReport` whose
+``fingerprint()`` is bit-stable for a given seed: same seed, same report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.bench.runner import load_store
+from repro.chaos.faults import FaultInjector
+from repro.chaos.invariants import InvariantReport, check_store
+from repro.chaos.policy import OpOutcome, RetryPolicy, RobustProxy
+from repro.chaos.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.core.interface import DataLossError, KVStore
+from repro.sim.closedloop import OpDemand, simulate
+from repro.sim.events import EventQueue
+from repro.workloads.ycsb import WorkloadSpec, generate_requests
+
+
+@dataclass
+class ChaosReport:
+    """Everything one seeded chaos run observed."""
+
+    store: str
+    scheme: str
+    seed: int
+    n_objects: int
+    n_requests: int
+    # ops
+    ops_attempted: int = 0
+    ops_acked: int = 0
+    ops_failed: int = 0
+    degraded_reads: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    # faults
+    faults_scheduled: int = 0
+    faults_fired: dict[str, int] = field(default_factory=dict)
+    faults_unfired: int = 0
+    # recovery actions
+    repairs: list[dict] = field(default_factory=list)
+    recoveries: list[dict] = field(default_factory=list)
+    data_loss_events: int = 0
+    # availability
+    downtime_s: dict[str, float] = field(default_factory=dict)
+    availability: float = 1.0
+    timeline: list[tuple[float, str]] = field(default_factory=list)
+    # invariants + closed loop
+    invariants: dict = field(default_factory=dict)
+    makespan_s: float = 0.0
+    throughput_ops_s: float = 0.0
+    mean_response_s: float = 0.0
+
+    @property
+    def violations(self) -> int:
+        return len(self.invariants.get("violations", ()))
+
+    def to_dict(self) -> dict:
+        return {
+            "store": self.store,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "n_objects": self.n_objects,
+            "n_requests": self.n_requests,
+            "ops_attempted": self.ops_attempted,
+            "ops_acked": self.ops_acked,
+            "ops_failed": self.ops_failed,
+            "degraded_reads": self.degraded_reads,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "faults_scheduled": self.faults_scheduled,
+            "faults_fired": dict(sorted(self.faults_fired.items())),
+            "faults_unfired": self.faults_unfired,
+            "repairs": self.repairs,
+            "recoveries": self.recoveries,
+            "data_loss_events": self.data_loss_events,
+            "downtime_s": dict(sorted(self.downtime_s.items())),
+            "availability": self.availability,
+            "timeline": [[t, text] for t, text in self.timeline],
+            "invariants": self.invariants,
+            "makespan_s": self.makespan_s,
+            "throughput_ops_s": self.throughput_ops_s,
+            "mean_response_s": self.mean_response_s,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the whole report: equal iff the runs were equal."""
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def summary(self) -> str:
+        lines = [
+            f"ChaosReport: {self.store} (scheme={self.scheme}, seed={self.seed})",
+            f"  ops        : {self.ops_acked}/{self.ops_attempted} acked, "
+            f"{self.ops_failed} failed, {self.degraded_reads} degraded reads, "
+            f"{self.retries} retries, {self.timeouts} timeouts",
+            f"  faults     : {sum(self.faults_fired.values())} fired "
+            f"{dict(sorted(self.faults_fired.items()))}, "
+            f"{self.faults_unfired} past the horizon",
+            f"  recovery   : {len(self.repairs)} node repairs, "
+            f"{len(self.recoveries)} log recoveries, "
+            f"{self.data_loss_events} data-loss events",
+            f"  available  : {self.availability * 100:.3f}% node-time; downtime "
+            + ", ".join(
+                f"{nid}={s * 1e3:.2f}ms"
+                for nid, s in sorted(self.downtime_s.items())
+                if s > 0
+            ),
+            f"  throughput : {self.throughput_ops_s / 1e3:.1f} Kops/s closed-loop, "
+            f"makespan {self.makespan_s * 1e3:.1f} ms",
+            f"  invariants : {self.invariants.get('objects_checked', 0)} objects, "
+            f"{self.invariants.get('stripes_checked', 0)} stripes, "
+            f"{self.invariants.get('logged_parities_checked', 0)} logged parities "
+            f"-> {self.violations} violations",
+        ]
+        for v in self.invariants.get("violations", ())[:10]:
+            lines.append(f"    VIOLATION {v}")
+        lines.append(f"  fingerprint: {self.fingerprint()}")
+        return "\n".join(lines)
+
+
+class ChaosRun:
+    """One seeded run; split from :func:`run_chaos` for testability."""
+
+    def __init__(
+        self,
+        store: KVStore,
+        spec: WorkloadSpec,
+        schedule: FaultSchedule,
+        policy: RetryPolicy | None = None,
+        repair_delay_s: float = 5e-3,
+        repair: bool = True,
+    ):
+        self.store = store
+        self.spec = spec
+        self.schedule = schedule
+        self.repair_delay_s = repair_delay_s
+        self.repair = repair
+        self.clock = store.cluster.clock
+        self.faults_q = EventQueue()
+        self.recovery_q = EventQueue()
+        self.injector = FaultInjector(store.cluster)
+        self.proxy = RobustProxy(store, policy, wait=self._wait)
+        self.repairs: list[dict] = []
+        self.recoveries: list[dict] = []
+        self.data_loss_events = 0
+        self.outcomes: list[OpOutcome] = []
+        self.demands: list[OpDemand] = []
+
+    # ------------------------------------------------------------- event pump
+
+    def _wait(self, dt: float) -> None:
+        self.clock.advance(dt)
+        self._pump(self.clock.now)
+
+    def _pump(self, now: float) -> None:
+        """Fire everything due from both queues in global time order
+        (faults before recoveries on exact ties)."""
+        while True:
+            tf = self.faults_q.next_time()
+            tr = self.recovery_q.next_time()
+            due = [t for t in (tf, tr) if t is not None and t <= now]
+            if not due:
+                return
+            nxt = min(due)
+            if tf is not None and tf == nxt:
+                self.faults_q.run_until(nxt)
+            else:
+                self.recovery_q.run_until(nxt)
+
+    # --------------------------------------------------------- fault handling
+
+    def _is_log_node(self, nid: str) -> bool:
+        return nid in self.store.cluster.log_nodes
+
+    def _fire(self, event: FaultEvent, when: float) -> None:
+        nid = event.node_id
+        if self._is_log_node(nid) and event.kind in (FaultKind.CRASH, FaultKind.BLIP):
+            self._crash_log_node(event, when)
+            return
+        self.injector.apply(event, when, self.recovery_q)
+        if event.kind is FaultKind.CRASH and self.repair:
+            self.recovery_q.schedule(
+                when + self.repair_delay_s, lambda t, n=nid: self._repair_dram(n, t)
+            )
+        elif event.kind is FaultKind.PARTITION and self._is_log_node(nid):
+            # once the link heals, rebuild the parities that missed deltas
+            self.recovery_q.schedule(
+                event.end_s, lambda t, n=nid: self._recover_log(n, t, if_stale=True)
+            )
+
+    def _crash_log_node(self, event: FaultEvent, when: float) -> None:
+        """Log-node crash consistency (§3.3.2): the DRAM buffer is lost; the
+        persisted log survives but goes stale until recovery rebuilds it."""
+        from repro.core.recovery import crash_log_node
+
+        cluster = self.store.cluster
+        node = cluster.log_nodes[event.node_id]
+        applied = self.injector.applied
+        applied[event.kind.value] = applied.get(event.kind.value, 0) + 1
+        if not cluster.kill(event.node_id, now=when):
+            self.injector.note(when, f"{event.kind.value} {event.node_id} (already down)")
+            return
+        lost = crash_log_node(node)
+        node.needs_recovery = True
+        self.injector.note(
+            when, f"{event.kind.value} {event.node_id} (buffer lost: {lost} records)"
+        )
+        if event.kind is FaultKind.BLIP:
+            recover_at = when + event.duration_s
+        elif self.repair:
+            recover_at = when + self.repair_delay_s
+        else:
+            return
+        self.recovery_q.schedule(
+            recover_at, lambda t, n=event.node_id: self._recover_log(n, t)
+        )
+
+    # ------------------------------------------------------- repair / recover
+
+    def _repair_dram(self, nid: str, when: float) -> None:
+        cluster = self.store.cluster
+        node = cluster.dram_nodes.get(nid)
+        if node is None or node.alive:
+            return  # a blip restore beat the repair; nothing to do
+        if hasattr(self.store, "uptodate_logged_parity"):
+            from repro.core.repair import repair_node
+
+            try:
+                result = repair_node(self.store, nid, log_assist=True)
+            except DataLossError as exc:
+                self.data_loss_events += 1
+                self.injector.note(when, f"repair {nid} FAILED: {exc}")
+                return
+            self.repairs.append(
+                {
+                    "node": nid,
+                    "at_s": when,
+                    "repair_time_s": result.repair_time_s,
+                    "chunks": result.chunks_repaired,
+                    "log_assisted": result.log_assisted_stripes,
+                }
+            )
+            self.injector.note(
+                when,
+                f"repair {nid}: {result.chunks_repaired} chunks in "
+                f"{result.repair_time_s * 1e3:.2f}ms",
+            )
+        else:
+            # baselines: a replacement node comes online with re-synced state
+            self.repairs.append({"node": nid, "at_s": when, "repair_time_s": 0.0})
+            self.injector.note(when, f"replace {nid}")
+        cluster.restore(nid, now=self.clock.now)
+
+    def _recover_log(self, nid: str, when: float, if_stale: bool = False) -> None:
+        from repro.core.recovery import recover_log_node
+
+        node = self.store.cluster.log_nodes.get(nid)
+        if node is None:
+            return
+        if if_stale and not node.needs_recovery:
+            return
+        if node.alive and not node.needs_recovery:
+            return
+        report = recover_log_node(self.store, nid)
+        self.recoveries.append(
+            {
+                "node": nid,
+                "at_s": when,
+                "parities_rebuilt": report.parities_rebuilt,
+                "duration_s": report.duration_s,
+            }
+        )
+        self.injector.note(
+            when, f"recover {nid}: {report.parities_rebuilt} parities rebuilt"
+        )
+
+    # ---------------------------------------------------------------- the run
+
+    def execute(self) -> ChaosReport:
+        store, spec = self.store, self.spec
+        for ev in self.schedule:
+            self.faults_q.schedule(ev.time_s, lambda t, e=ev: self._fire(e, t))
+
+        counters = store.counters
+        profile = store.cfg.profile
+        requests = generate_requests(spec)
+        for req in requests:
+            self._pump(self.clock.now)
+            bytes_before = counters["net_bytes"]
+            rpcs_before = counters["net_rpcs"]
+            outcome = self.proxy.execute(req)
+            self.clock.advance(outcome.latency_s)
+            self.outcomes.append(outcome)
+            if outcome.acked:
+                d_bytes = counters["net_bytes"] - bytes_before
+                d_rpcs = counters["net_rpcs"] - rpcs_before
+                cpu_s = profile.rpc_overhead_s * d_rpcs
+                nic_s = d_bytes / profile.net_bandwidth_Bps
+                self.demands.append(
+                    OpDemand(
+                        cpu_s=cpu_s,
+                        nic_bytes=d_bytes,
+                        remote_s=max(0.0, outcome.latency_s - cpu_s - nic_s),
+                    )
+                )
+
+        # past-the-horizon faults never fire; pending recoveries all do, so
+        # the run ends with every transient fault healed and repairs applied
+        faults_unfired = len(self.faults_q)
+        self.faults_q.clear()
+        self.recovery_q.drain()
+        store.finalize()
+
+        makespan = self.clock.now
+        report = ChaosReport(
+            store=store.name,
+            scheme=store.cfg.scheme,
+            seed=spec.seed,
+            n_objects=spec.n_objects,
+            n_requests=spec.n_requests,
+            ops_attempted=len(self.outcomes),
+            ops_acked=sum(1 for o in self.outcomes if o.acked),
+            ops_failed=self.proxy.failed_ops,
+            degraded_reads=self.proxy.degraded_served,
+            retries=self.proxy.retries,
+            timeouts=self.proxy.timeouts,
+            faults_scheduled=len(self.schedule),
+            faults_fired=dict(self.injector.applied),
+            faults_unfired=faults_unfired,
+            repairs=self.repairs,
+            recoveries=self.recoveries,
+            data_loss_events=self.data_loss_events,
+            downtime_s={
+                nid: store.cluster.downtime_s(nid)
+                for nid in store.cluster.dram_ids() + store.cluster.log_ids()
+            },
+            availability=store.cluster.availability(),
+            timeline=sorted(self.injector.timeline),
+            makespan_s=makespan,
+        )
+        if self.demands:
+            cl = simulate(self.demands, profile)
+            report.throughput_ops_s = cl.throughput_ops_s
+            report.mean_response_s = cl.mean_response_s
+        # invariants last: the checkers reuse the real read/repair machinery,
+        # which perturbs cost counters -- metrics above are already captured
+        invariant_report: InvariantReport = check_store(store)
+        report.invariants = invariant_report.to_dict()
+        return report
+
+
+def run_chaos(
+    store: KVStore,
+    spec: WorkloadSpec,
+    schedule: FaultSchedule | None = None,
+    policy: RetryPolicy | None = None,
+    expected_faults: float = 4.0,
+    repair_delay_s: float = 5e-3,
+    repair: bool = True,
+) -> ChaosReport:
+    """Load the store, then replay the workload under a fault schedule.
+
+    With ``schedule=None`` a Poisson schedule is generated from the seed with
+    ~``expected_faults`` arrivals over the run's estimated horizon (derived
+    from the measured load-phase latency, so it needs no tuning per scale).
+    """
+    load_s = load_store(store, spec)
+    if schedule is None:
+        mean_op_s = load_s / max(1, spec.n_objects)
+        horizon_s = mean_op_s * max(1, spec.n_requests)
+        schedule = FaultSchedule.with_expected_faults(
+            store.cluster.dram_ids(),
+            store.cluster.log_ids(),
+            horizon_s=horizon_s,
+            expected_faults=expected_faults,
+            seed=spec.seed,
+        )
+    # fault times are relative to the start of the run phase
+    start = store.cluster.clock.now
+    shifted = FaultSchedule(
+        [
+            FaultEvent(ev.time_s + start, ev.kind, ev.node_id, ev.duration_s, ev.magnitude)
+            for ev in schedule
+        ]
+    )
+    run = ChaosRun(
+        store,
+        spec,
+        shifted,
+        policy=policy,
+        repair_delay_s=repair_delay_s,
+        repair=repair,
+    )
+    return run.execute()

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from statistics import mean
 
 from repro.analysis import (
     fmt_scientific,
@@ -48,6 +47,16 @@ def _parse_code(text: str) -> tuple[int, int]:
         return k, r
     except ValueError:
         raise argparse.ArgumentTypeError(f"code must look like '6,3', got {text!r}")
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
 
 
 def _add_scale(p: argparse.ArgumentParser) -> None:
@@ -106,6 +115,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", default=None, help="YCSB preset A-F")
     p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
     p.add_argument("--value-size", type=int, default=4096)
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "chaos", help="workload under a seeded fault schedule + invariant sweep"
+    )
+    p.add_argument("--store", default="logecmem",
+                   choices=["vanilla", "replication", "ipmem", "fsmem", "logecmem"])
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default="50:50", help="read:update ratio")
+    p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
+    p.add_argument("--value-size", type=int, default=4096)
+    p.add_argument("--faults", type=_positive_float, default=4.0,
+                   help="expected fault arrivals over the run (Poisson)")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the full fault/recovery timeline")
     _add_scale(p)
     return parser
 
@@ -267,6 +291,32 @@ def cmd_run(args, out) -> None:
         f"log-disk IOs: {result.disk_io_count}")
 
 
+def cmd_chaos(args, out) -> None:
+    from repro.chaos import run_chaos
+
+    k, r = args.code
+    config = StoreConfig(k=k, r=r, value_size=args.value_size, scheme=args.scheme)
+    store = make_store(args.store, config)
+    spec = WorkloadSpec.read_update(
+        args.ratio, n_objects=args.objects, n_requests=args.requests,
+        value_size=args.value_size, seed=args.seed,
+    )
+    report = run_chaos(store, spec, expected_faults=args.faults)
+    out(report.summary())
+    if args.timeline:
+        out("timeline:")
+        for t, text in report.timeline:
+            out(f"  {t * 1e3:9.3f} ms  {text}")
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        out(f"report saved to {args.out}")
+    if report.violations:
+        raise SystemExit(1)
+
+
 def cmd_report(args, out) -> None:
     """The artifact-evaluation flow in one command: every table and figure
     at the chosen scale, each section appended to REPORT.txt and its raw
@@ -318,6 +368,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "tradeoff": cmd_tradeoff,
         "report": cmd_report,
         "run": cmd_run,
+        "chaos": cmd_chaos,
     }
     handler = handlers.get(args.command, cmd_experiment)
     handler(args, out)

@@ -9,6 +9,13 @@ does via libmemcached.
 
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.node import DRAMNode, LogNode, Node
-from repro.cluster.topology import Cluster
+from repro.cluster.topology import Cluster, UnknownNodeError
 
-__all__ = ["Cluster", "ConsistentHashRing", "DRAMNode", "LogNode", "Node"]
+__all__ = [
+    "Cluster",
+    "ConsistentHashRing",
+    "DRAMNode",
+    "LogNode",
+    "Node",
+    "UnknownNodeError",
+]

@@ -22,19 +22,49 @@ from repro.sim.params import HardwareProfile
 
 
 class Node:
-    """Base node: identity plus alive/failed state."""
+    """Base node: identity, alive/failed state and downtime accounting.
+
+    ``fail``/``restore`` take the simulated time of the transition so that
+    per-node downtime (and cluster availability) can be reported; both are
+    idempotent and return whether the state actually changed, so callers can
+    distinguish a real transition from a repeated fault on an already-down
+    node (the chaos injector relies on this).
+    """
 
     kind = "node"
 
     def __init__(self, node_id: str):
         self.node_id = node_id
         self.alive = True
+        self.failed_at: float | None = None
+        self.downtime_s = 0.0
+        self.fail_count = 0
+        self.restore_count = 0
 
-    def fail(self) -> None:
+    def fail(self, now: float = 0.0) -> bool:
+        if not self.alive:
+            return False
         self.alive = False
+        self.failed_at = now
+        self.fail_count += 1
+        return True
 
-    def restore(self) -> None:
+    def restore(self, now: float = 0.0) -> bool:
+        if self.alive:
+            return False
+        if self.failed_at is not None:
+            self.downtime_s += max(0.0, now - self.failed_at)
         self.alive = True
+        self.failed_at = None
+        self.restore_count += 1
+        return True
+
+    def downtime_until(self, now: float) -> float:
+        """Accumulated downtime including the currently-open outage, if any."""
+        total = self.downtime_s
+        if not self.alive and self.failed_at is not None:
+            total += max(0.0, now - self.failed_at)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "up" if self.alive else "DOWN"
@@ -78,6 +108,10 @@ class LogNode(Node):
             merge=merge_buffer,
         )
         self.sync_flush_stalls = 0
+        #: set when parity deltas could not be delivered (node down or link
+        #: partitioned during an update): the persisted parity is stale and
+        #: must be rebuilt via recover_log_node before it is read again
+        self.needs_recovery = False
 
     # -- write path -----------------------------------------------------------
 

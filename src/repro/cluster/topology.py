@@ -17,6 +17,10 @@ from repro.sim.params import HardwareProfile
 from repro.sim.resources import Counters
 
 
+class UnknownNodeError(KeyError):
+    """Lookup of a node id the cluster does not contain."""
+
+
 class Cluster:
     """The simulated testbed for one run."""
 
@@ -58,7 +62,8 @@ class Cluster:
             return self.dram_nodes[node_id]
         if node_id in self.log_nodes:
             return self.log_nodes[node_id]
-        raise KeyError(f"unknown node {node_id!r}")
+        known = self.dram_ids() + self.log_ids()
+        raise UnknownNodeError(f"unknown node {node_id!r}; cluster has {known}")
 
     def dram_ids(self) -> list[str]:
         return sorted(self.dram_nodes)
@@ -74,13 +79,35 @@ class Cluster:
 
     # -- failure injection -------------------------------------------------------
 
-    def kill(self, node_id: str) -> None:
+    def kill(self, node_id: str, now: float | None = None) -> bool:
         """Fail a node (contents become unavailable, not erased -- the repair
-        paths must not peek at them; tests enforce this via the alive flag)."""
-        self.node(node_id).fail()
+        paths must not peek at them; tests enforce this via the alive flag).
 
-    def restore(self, node_id: str) -> None:
-        self.node(node_id).restore()
+        The transition is stamped with ``now`` (default: the cluster clock)
+        for downtime accounting; returns False if the node was already down.
+        """
+        return self.node(node_id).fail(self.clock.now if now is None else now)
+
+    def restore(self, node_id: str, now: float | None = None) -> bool:
+        """Bring a node back; stamps the transition for downtime accounting.
+
+        Returns False if the node was already alive."""
+        return self.node(node_id).restore(self.clock.now if now is None else now)
+
+    def downtime_s(self, node_id: str, now: float | None = None) -> float:
+        """Accumulated downtime of one node, open outage included."""
+        return self.node(node_id).downtime_until(
+            self.clock.now if now is None else now
+        )
+
+    def availability(self, now: float | None = None) -> float:
+        """Fraction of node-seconds the cluster spent alive over [0, now]."""
+        t = self.clock.now if now is None else now
+        if t <= 0:
+            return 1.0
+        nodes = list(self.dram_nodes.values()) + list(self.log_nodes.values())
+        down = sum(n.downtime_until(t) for n in nodes)
+        return max(0.0, 1.0 - down / (len(nodes) * t))
 
     # -- aggregate metrics ---------------------------------------------------------
 

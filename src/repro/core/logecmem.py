@@ -88,15 +88,17 @@ class LogECMem(StripedStoreBase):
         degrade fine)."""
         from repro.core.striped import ChunkUnavailableError
 
-        if not self.cluster.dram_nodes[node_id].alive:
+        if not self._dram_reachable(node_id):
             raise ChunkUnavailableError(
-                f"cannot update {key!r}: its node {node_id} is down (repair first)"
+                f"cannot update {key!r}: its node {node_id} is down or "
+                f"unreachable (repair first)"
             )
         if sid is not None:
             xor_node = self.stripe_index.get(sid).xor_parity_node()
-            if not self.cluster.dram_nodes[xor_node].alive:
+            if not self._dram_reachable(xor_node):
                 raise ChunkUnavailableError(
-                    f"cannot update {key!r}: XOR parity node {xor_node} is down"
+                    f"cannot update {key!r}: XOR parity node {xor_node} is down "
+                    f"or unreachable"
                 )
 
     def _update_impl(self, key: str, tombstone: bool) -> OpResult:
@@ -143,6 +145,14 @@ class LogECMem(StripedStoreBase):
         stall_s = 0.0
         now = self.cluster.clock.now
         for j, nid in enumerate(log_parity_nodes, start=1):
+            log_node = self.cluster.log_nodes[nid]
+            if not log_node.alive or not self.net.reachable(nid):
+                # the delta cannot be delivered; the node's persisted parity
+                # goes stale and must be rebuilt (recover_log_node) before
+                # any repair reads it -- the chaos harness schedules that
+                log_node.needs_recovery = True
+                self.counters.add("parity_deltas_skipped")
+                continue
             coeff = self.code.coefficient(j, seq)
             pd = ParityDelta(
                 stripe_id=sid,
@@ -153,9 +163,7 @@ class LogECMem(StripedStoreBase):
             )
             stall_s = max(
                 stall_s,
-                self.cluster.log_nodes[nid].append(
-                    LogRecord.for_delta(pd, cfg.value_size), now
-                ),
+                log_node.append(LogRecord.for_delta(pd, cfg.value_size), now),
             )
             self.counters.add("parity_deltas_sent")
         self.versions[key] = new_version

@@ -81,7 +81,8 @@ def recover_log_node(
                 [LogRecord.for_chunk(sid, j, parity, cfg.chunk_size)], now
             )
             rebuilt += 1
-    node.restore()
+    node.restore(store.cluster.clock.now)
+    node.needs_recovery = False
     store.counters.add("log_node_recoveries")
     return RecoveryReport(
         node_id=node_id,

@@ -147,12 +147,14 @@ class StripedStoreBase(KVStore):
         candidates = [
             nid
             for nid in ring.lookup_many(key, min(len(ring), 4))
-            if self.cluster.dram_nodes[nid].alive
+            if self._dram_reachable(nid)
         ][:2]
         if not candidates:
-            alive = self.cluster.alive_dram_ids()
+            alive = [
+                nid for nid in self.cluster.alive_dram_ids() if self.net.reachable(nid)
+            ]
             if not alive:
-                raise RuntimeError("no alive DRAM node to accept writes")
+                raise RuntimeError("no reachable DRAM node to accept writes")
             candidates = alive[:2]
         if len(candidates) == 1:
             return candidates[0]
@@ -264,6 +266,22 @@ class StripedStoreBase(KVStore):
 
     # ----------------------------------------------------------------- read path
 
+    def _dram_reachable(self, node_id: str) -> bool:
+        """A DRAM node the proxy can actually talk to: alive and link up."""
+        return self.cluster.dram_nodes[node_id].alive and self.net.reachable(node_id)
+
+    def _degraded_reason(self, node_id: str) -> str | None:
+        """Why a read of ``node_id`` must take the degraded path (None = it
+        need not): the node is down, its link is partitioned, or it is slower
+        than the configured straggler threshold."""
+        if not self.cluster.dram_nodes[node_id].alive:
+            return "node_down"
+        if self.net.link_down(node_id):
+            return "link_down"
+        if self.net.node_slowdown(node_id) > self.cfg.degraded_slowdown_threshold:
+            return "slow_node"
+        return None
+
     def _locate(self, key: str):
         """(stripe_id|None, seq|None, node_id, chunk, slot) of a live object."""
         if key in self.deleted or key not in self.versions:
@@ -281,12 +299,17 @@ class StripedStoreBase(KVStore):
 
     def read(self, key: str) -> OpResult:
         sid, seq, node_id, chunk, slot = self._locate(key)
-        if not self.cluster.dram_nodes[node_id].alive:
+        reason = self._degraded_reason(node_id)
+        if reason is not None:
             result = self.degraded_read(key)
             result.degraded = True
+            result.info.setdefault("degraded_reason", reason)
             return result
         latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.sequential_gets([self.cfg.value_size])
+        # a tolerably-slow node inflates the GET but not the client hop
+        latency += self.net.sequential_gets([self.cfg.value_size]) * (
+            self.net.node_slowdown(node_id)
+        )
         self.counters.add("op_read")
         return OpResult(latency_s=latency, value=chunk.read_slot(slot).copy())
 
@@ -300,7 +323,7 @@ class StripedStoreBase(KVStore):
             if gi in exclude:
                 continue
             nid = rec.chunk_nodes[gi]
-            if nid not in self.cluster.dram_nodes or not self.cluster.dram_nodes[nid].alive:
+            if nid not in self.cluster.dram_nodes or not self._dram_reachable(nid):
                 continue
             if gi < self.cfg.k:
                 buf = self.data_chunks[(sid, gi)].buffer

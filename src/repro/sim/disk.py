@@ -15,7 +15,7 @@ this class only accounts cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.params import HardwareProfile
 from repro.sim.resources import Resource
@@ -53,6 +53,8 @@ class DiskModel:
         self.profile = profile
         self.stats = DiskStats()
         self.resource = Resource(name)
+        self.stall_windows = 0
+        self.stalled_s = 0.0
 
     # -- cost primitives ------------------------------------------------------
 
@@ -82,6 +84,20 @@ class DiskModel:
         dur = self._io_time(nbytes, sequential)
         self.resource.reserve(now, dur)
         return dur
+
+    def inject_stall(self, now: float, duration_s: float) -> None:
+        """Fault injection: the device goes unresponsive for ``duration_s``.
+
+        Models a controller pause / EBS throttling window: no IO is lost, but
+        everything queued behind the window waits.  Flush backpressure then
+        propagates the stall onto the write critical path exactly as a real
+        backlog would (see :meth:`repro.cluster.node.LogNode.append`).
+        """
+        if duration_s < 0:
+            raise ValueError(f"negative stall duration {duration_s}")
+        self.stall_windows += 1
+        self.stalled_s += duration_s
+        self.resource.reserve(now, duration_s)
 
     # -- helpers ---------------------------------------------------------------
 

@@ -19,17 +19,65 @@ from repro.sim.params import HardwareProfile
 from repro.sim.resources import Counters
 
 
+class LinkDownError(RuntimeError):
+    """An exchange was attempted over a partitioned proxy<->node link."""
+
+
 class NetworkModel:
-    """Latency/byte accounting for proxy-centred message exchanges."""
+    """Latency/byte accounting for proxy-centred message exchanges.
+
+    Besides the cost primitives, the model carries per-node *degradation
+    state* for fault injection: a latency multiplier (straggler/slow node)
+    and a link-down flag (network partition between proxy and node).  The
+    request paths consult this state to decide between the normal and the
+    degraded path, and scale their per-node exchange times by the slowdown.
+    """
 
     def __init__(self, profile: HardwareProfile, counters: Counters | None = None):
         self.profile = profile
         self.counters = counters if counters is not None else Counters()
+        self._slowdowns: dict[str, float] = {}
+        self._down_links: set[str] = set()
         self._jitter_rng = (
             np.random.default_rng(profile.jitter_seed)
             if profile.jitter_fraction > 0
             else None
         )
+
+    # -- per-node degradation state ------------------------------------------
+
+    def set_node_slowdown(self, node_id: str, factor: float) -> None:
+        """Multiply all exchanges with ``node_id`` by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        if factor == 1.0:
+            self._slowdowns.pop(node_id, None)
+        else:
+            self._slowdowns[node_id] = factor
+
+    def clear_node_slowdown(self, node_id: str) -> None:
+        self._slowdowns.pop(node_id, None)
+
+    def node_slowdown(self, node_id: str) -> float:
+        return self._slowdowns.get(node_id, 1.0)
+
+    def set_link_down(self, node_id: str) -> None:
+        self._down_links.add(node_id)
+
+    def restore_link(self, node_id: str) -> None:
+        self._down_links.discard(node_id)
+
+    def link_down(self, node_id: str) -> bool:
+        return node_id in self._down_links
+
+    def reachable(self, node_id: str) -> bool:
+        return node_id not in self._down_links
+
+    def rpc_to(self, node_id: str, request_bytes: int, response_bytes: int) -> float:
+        """One request/response with ``node_id``, honouring degradation state."""
+        if self.link_down(node_id):
+            raise LinkDownError(f"link to {node_id} is partitioned")
+        return self.rpc(request_bytes, response_bytes) * self.node_slowdown(node_id)
 
     def _jitter(self, t: float) -> float:
         """Multiplicative lognormal-ish jitter; identity when disabled."""

@@ -16,7 +16,7 @@ how the prototype actually behaves (libmemcached proxy):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

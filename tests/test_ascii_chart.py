@@ -24,7 +24,7 @@ def test_hbar_zero_and_empty():
 
 def test_grouped_chart_shares_scale():
     out = grouped_chart({"g1": {"a": 10.0}, "g2": {"a": 5.0}}, width=10)
-    lines = [l for l in out.splitlines() if "█" in l]
+    lines = [ln for ln in out.splitlines() if "█" in ln]
     assert lines[0].count("█") == 10
     assert lines[1].count("█") == 5
     assert "-- g1" in out and "-- g2" in out

@@ -83,7 +83,7 @@ def test_measure_degraded_reads_sample():
     load_store(store, spec)
     lats = measure_degraded_reads(store, spec, samples=20)
     assert len(lats) == 20
-    assert all(l > 0 for l in lats)
+    assert all(x > 0 for x in lats)
 
 
 def test_estimate_throughput_empty_run():

@@ -1,0 +1,75 @@
+"""Property-based chaos: any kill/restore sequence within the code's failure
+tolerance leaves every object decodable (hypothesis drives the sequences)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import make_store
+from repro.bench.runner import load_store
+from repro.chaos import check_store
+from repro.core import StoreConfig
+from repro.core.recovery import crash_log_node, recover_log_node
+from repro.workloads import WorkloadSpec
+
+# small on purpose: hypothesis runs the whole scenario per example
+K, R = 3, 3
+N_OBJECTS = 48
+
+
+def build_store():
+    store = make_store("logecmem", StoreConfig(k=K, r=R, value_size=512, scheme="plm"))
+    spec = WorkloadSpec(
+        n_objects=N_OBJECTS, n_requests=0, value_size=512, seed=2,
+        read_ratio=1.0, update_ratio=0.0,
+    )
+    load_store(store, spec)
+    # a few updates so logged parities carry real deltas
+    for i in range(0, N_OBJECTS, 3):
+        store.update(f"user{i:016d}")
+    store.finalize()
+    return store
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=10))
+def test_any_tolerated_failure_sequence_keeps_objects_decodable(toggles):
+    """Interpret each integer as toggling one node up<->down; skip any toggle
+    that would exceed the code's tolerance of r simultaneous failures.  After
+    the sequence, every acked object must reconstruct from survivors."""
+    store = build_store()
+    node_ids = store.cluster.dram_ids() + store.cluster.log_ids()
+    down: set[str] = set()
+    for t in toggles:
+        nid = node_ids[t % len(node_ids)]
+        if nid in down:
+            if nid in store.cluster.log_nodes:
+                recover_log_node(store, nid)  # rebuild before serving again
+            else:
+                store.cluster.restore(nid)
+            down.discard(nid)
+        else:
+            if len(down) >= R:
+                continue  # beyond tolerance: the MDS guarantee ends at r
+            if nid in store.cluster.log_nodes:
+                crash_log_node(store.cluster.log_nodes[nid])
+            store.cluster.kill(nid)
+            down.add(nid)
+    assert len(down) <= R
+    report = check_store(store)
+    assert report.violations == [], [v.describe() for v in report.violations]
+    assert report.objects_checked == N_OBJECTS
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=1))
+def test_reads_stay_correct_with_one_dram_and_one_log_down(dram_i, log_i):
+    """Every (DRAM node, log node) failure pair: all reads degrade correctly."""
+    store = build_store()
+    store.cluster.kill(f"dram{dram_i}")
+    crash_log_node(store.cluster.log_nodes[f"log{log_i}"])
+    store.cluster.kill(f"log{log_i}")
+    for i in range(N_OBJECTS):
+        key = f"user{i:016d}"
+        res = store.read(key)
+        assert np.array_equal(res.value, store.expected_value(key)), key

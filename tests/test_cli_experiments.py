@@ -1,7 +1,6 @@
 """Tests for the remaining CLI experiment handlers (exp1/3/4/5/6) and the
 determinism of the harness across handler paths."""
 
-import pytest
 
 from repro.cli import main
 from repro.kvstore.chunk import make_value

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import Cluster, ConsistentHashRing, DRAMNode, LogNode
+from repro.cluster import Cluster, ConsistentHashRing, DRAMNode, LogNode, UnknownNodeError
 from repro.ec.delta import ParityDelta
 from repro.logstore.records import LogRecord
 from repro.sim.params import HardwareProfile
@@ -166,6 +166,58 @@ def test_cluster_kill_and_restore():
     assert "dram1" in c.alive_dram_ids()
     with pytest.raises(KeyError):
         c.kill("nope")
+
+
+def test_kill_restore_report_transitions():
+    c = Cluster(n_dram=2, n_log=1)
+    assert c.kill("dram0") is True
+    assert c.kill("dram0") is False   # already down: no silent double-count
+    assert c.restore("dram0") is True
+    assert c.restore("dram0") is False
+    assert c.dram_nodes["dram0"].fail_count == 1
+    assert c.dram_nodes["dram0"].restore_count == 1
+
+
+def test_unknown_node_error_lists_cluster():
+    c = Cluster(n_dram=2, n_log=1)
+    with pytest.raises(UnknownNodeError) as err:
+        c.kill("dram9")
+    assert "dram9" in str(err.value)
+    assert "dram0" in str(err.value) and "log0" in str(err.value)
+    with pytest.raises(UnknownNodeError):
+        c.restore("nope")
+    with pytest.raises(UnknownNodeError):
+        c.downtime_s("nope")
+
+
+def test_downtime_accounting():
+    c = Cluster(n_dram=2, n_log=0)
+    c.kill("dram0", now=1.0)
+    assert c.downtime_s("dram0", now=3.0) == pytest.approx(2.0)  # open outage
+    c.restore("dram0", now=4.0)
+    assert c.downtime_s("dram0", now=10.0) == pytest.approx(3.0)  # closed
+    c.kill("dram0", now=12.0)
+    assert c.downtime_s("dram0", now=13.0) == pytest.approx(4.0)  # re-opened
+    assert c.downtime_s("dram1", now=13.0) == 0.0
+
+
+def test_cluster_availability():
+    c = Cluster(n_dram=3, n_log=1)  # 4 nodes
+    assert c.availability(now=0.0) == 1.0  # no exposure yet
+    c.kill("dram0", now=0.0)
+    c.restore("dram0", now=2.0)
+    # 2 node-seconds down out of 4 nodes * 4 s
+    assert c.availability(now=4.0) == pytest.approx(1.0 - 2.0 / 16.0)
+
+
+def test_kill_defaults_to_cluster_clock():
+    c = Cluster(n_dram=1, n_log=0)
+    c.clock.advance(5.0)
+    c.kill("dram0")
+    assert c.dram_nodes["dram0"].failed_at == pytest.approx(5.0)
+    c.clock.advance(1.0)
+    c.restore("dram0")
+    assert c.downtime_s("dram0") == pytest.approx(1.0)
 
 
 def test_cluster_memory_and_disk_aggregation():

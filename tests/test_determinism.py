@@ -1,0 +1,53 @@
+"""Determinism regression: identical seeds must yield byte-identical request
+streams and identical closed-loop results for every store.
+
+Everything downstream (experiments, the chaos harness's reproducible
+fingerprints) leans on this; a nondeterministic iteration order or an
+unseeded RNG anywhere in the stack shows up here first.
+"""
+
+import pytest
+
+from repro.baselines import make_store
+from repro.bench.runner import run_workload, simulate_closed_loop
+from repro.core import StoreConfig
+from repro.workloads import WorkloadSpec, generate_requests
+
+STORES = ["vanilla", "replication", "ipmem", "fsmem", "logecmem"]
+
+
+def spec(seed=17):
+    return WorkloadSpec(
+        n_objects=80, n_requests=120, seed=seed, value_size=1024,
+        read_ratio=0.5, update_ratio=0.4, write_ratio=0.1,
+    )
+
+
+def test_request_stream_byte_identical_per_seed():
+    a = generate_requests(spec())
+    b = generate_requests(spec())
+    assert a == b  # frozen dataclasses: op + key equality is byte equality
+    assert "\n".join(f"{r.op.value} {r.key}" for r in a) == "\n".join(
+        f"{r.op.value} {r.key}" for r in b
+    )
+    assert generate_requests(spec(seed=18)) != a
+
+
+@pytest.mark.parametrize("name", STORES)
+def test_closed_loop_result_identical_per_seed(name):
+    results = []
+    for _ in range(2):
+        store = make_store(name, StoreConfig(k=3, r=3, value_size=1024, scheme="plm"))
+        wl = run_workload(store, spec(), record_demands=True)
+        results.append(simulate_closed_loop(store, wl))
+    assert results[0] == results[1]  # ClosedLoopResult is equality-comparable
+
+
+@pytest.mark.parametrize("name", STORES)
+def test_latency_streams_identical_per_seed(name):
+    streams = []
+    for _ in range(2):
+        store = make_store(name, StoreConfig(k=3, r=3, value_size=1024, scheme="plm"))
+        wl = run_workload(store, spec())
+        streams.append(wl.latencies_s)
+    assert streams[0] == streams[1]

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ec.matrix import SingularMatrixError, gf_matinv
+from repro.ec.matrix import gf_matinv
 from repro.ec.rs import RSCode, build_parity_matrix
 
 PAPER_CODES = [(6, 3), (10, 4), (12, 4), (15, 3)]

@@ -7,7 +7,6 @@ long as no stripe lost more than r chunks.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -91,6 +90,21 @@ def test_all_stores_complete_a_real_workload():
 # ----------------------------------------------------------------- fuzzing
 
 
+def _restore_all(store, killed):
+    """Bring killed nodes back the way the system would: a log node that was
+    down while updates flowed has stale parities (the deltas were dropped and
+    it is marked ``needs_recovery``), so it re-enters via recover_log_node;
+    DRAM nodes restore directly (their chunks were never erased)."""
+    from repro.core.recovery import recover_log_node
+
+    for nid in sorted(killed):
+        if nid in store.cluster.log_nodes:
+            recover_log_node(store, nid)
+        else:
+            store.cluster.restore(nid)
+    killed.clear()
+
+
 @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
     st.lists(
@@ -141,14 +155,11 @@ def test_fuzz_logecmem_stays_consistent(ops):
                 store.cluster.kill(nid)
                 killed.add(nid)
         elif op == "restore_all":
-            for nid in killed:
-                store.cluster.restore(nid)
-            killed.clear()
+            _restore_all(store, killed)
         elif op == "settle":
             store.finalize()
     # restore everything, then the oracle: scrub + every live object readable
-    for nid in killed:
-        store.cluster.restore(nid)
+    _restore_all(store, killed)
     store.finalize()
     assert scrub(store).clean
     for i in range(24):

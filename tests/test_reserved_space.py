@@ -2,7 +2,6 @@
 reserved-space tradeoff, §5.1)."""
 
 import numpy as np
-import pytest
 
 from repro.ec.delta import ParityDelta
 from repro.logstore import make_scheme

@@ -130,7 +130,7 @@ def test_read_missing_key_raises():
 def test_read_latency_positive_and_stable():
     store = _load(LogECMem(_cfg()), 16)
     lat = [store.read("user3").latency_s for _ in range(3)]
-    assert all(l > 0 for l in lat)
+    assert all(x > 0 for x in lat)
     assert lat[0] == lat[1] == lat[2]  # deterministic cost model
 
 
