@@ -44,6 +44,10 @@ class FaultInjector:
                 self.note(now, f"crash {nid} (already down)")
 
         elif event.kind is FaultKind.BLIP:
+            # transient unavailability: the node drops out and comes back
+            # with its state intact (log-node blips, which DO lose their
+            # volatile buffer, are routed through the harness's
+            # crash-consistency path before reaching the injector)
             if self.cluster.kill(nid, now=now):
                 self.note(now, f"blip {nid} down")
                 restore_queue.schedule(

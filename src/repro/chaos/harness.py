@@ -240,6 +240,7 @@ class ChaosRun:
         node = cluster.dram_nodes.get(nid)
         if node is None or node.alive:
             return  # a blip restore beat the repair; nothing to do
+        restore_at = when
         if hasattr(self.store, "uptodate_logged_parity"):
             from repro.core.repair import repair_node
 
@@ -249,6 +250,10 @@ class ChaosRun:
                 self.data_loss_events += 1
                 self.injector.note(when, f"repair {nid} FAILED: {exc}")
                 return
+            # the node rejoins once the rebuild finishes, so its downtime
+            # includes the repair window -- consistent with the recorded
+            # at_s/repair_time_s pair
+            restore_at = when + result.repair_time_s
             self.repairs.append(
                 {
                     "node": nid,
@@ -267,7 +272,7 @@ class ChaosRun:
             # baselines: a replacement node comes online with re-synced state
             self.repairs.append({"node": nid, "at_s": when, "repair_time_s": 0.0})
             self.injector.note(when, f"replace {nid}")
-        cluster.restore(nid, now=self.clock.now)
+        cluster.restore(nid, now=restore_at)
 
     def _recover_log(self, nid: str, when: float, if_stale: bool = False) -> None:
         from repro.core.recovery import recover_log_node
@@ -307,7 +312,12 @@ class ChaosRun:
             bytes_before = counters["net_bytes"]
             rpcs_before = counters["net_rpcs"]
             outcome = self.proxy.execute(req)
-            self.clock.advance(outcome.latency_s)
+            # backoff waits already advanced the clock inside execute() (the
+            # proxy's wait hook is _wait); only the store-side service time
+            # remains to elapse here -- advancing the full client latency
+            # would count every retry's wait twice and skew when later
+            # faults fire relative to requests.
+            self.clock.advance(outcome.service_s)
             self.outcomes.append(outcome)
             if outcome.acked:
                 d_bytes = counters["net_bytes"] - bytes_before
@@ -318,7 +328,7 @@ class ChaosRun:
                     OpDemand(
                         cpu_s=cpu_s,
                         nic_bytes=d_bytes,
-                        remote_s=max(0.0, outcome.latency_s - cpu_s - nic_s),
+                        remote_s=max(0.0, outcome.service_s - cpu_s - nic_s),
                     )
                 )
 

@@ -25,12 +25,25 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.interface import DataLossError, KVStore, OpResult
+from repro.core.interface import (
+    DataLossError,
+    KVStore,
+    OpResult,
+    StoreUnavailableError,
+)
 from repro.sim.network import LinkDownError
 from repro.workloads.ycsb import Operation, Request
 
 #: degraded reasons the proxy only learns about by timing out
 TIMEOUT_REASONS = ("link_down", "slow_node")
+
+#: the errors a retry can plausibly outlast: unavailability (node down,
+#: link partitioned, no placement -- ChunkUnavailableError and the
+#: write-path errors are StoreUnavailableError subtypes/instances) and
+#: too-many-chunks-missing, which a healing blip can also undo.  Anything
+#: else (KeyError, a genuine internal bug) propagates: converting it into
+#: silent retries would hide defects in the run.
+RETRYABLE_ERRORS = (LinkDownError, DataLossError, StoreUnavailableError)
 
 
 @dataclass
@@ -64,17 +77,30 @@ class RetryPolicy:
 
 @dataclass
 class OpOutcome:
-    """What the proxy reports for one request under chaos."""
+    """What the proxy reports for one request under chaos.
+
+    ``latency_s`` is the client-observed latency and *includes* ``waited_s``,
+    the backoff time spent between attempts.  The driver already advances the
+    simulated clock during each backoff (via the proxy's ``wait`` hook), so
+    it must advance only ``latency_s - waited_s`` when the op completes --
+    otherwise every retry's wait would be counted twice."""
 
     op: str
     key: str
     acked: bool
     latency_s: float
+    waited_s: float = 0.0
     degraded: bool = False
     degraded_reason: str | None = None
     retries: int = 0
     error: str | None = None
     result: OpResult | None = field(default=None, repr=False)
+
+    @property
+    def service_s(self) -> float:
+        """Latency excluding backoff waits: what still has to elapse on the
+        clock once the proxy stops sleeping."""
+        return max(0.0, self.latency_s - self.waited_s)
 
 
 class RobustProxy:
@@ -115,10 +141,7 @@ class RobustProxy:
         for attempt in range(policy.max_retries + 1):
             try:
                 res = self._dispatch(req)
-            except (LinkDownError, DataLossError, RuntimeError) as exc:
-                # ChunkUnavailableError and the write-path "no reachable DRAM
-                # node" are RuntimeErrors; KeyError (no such object) is a
-                # workload bug and propagates.
+            except RETRYABLE_ERRORS as exc:
                 error = exc
                 if attempt == policy.max_retries:
                     break
@@ -140,6 +163,7 @@ class RobustProxy:
                 key=req.key,
                 acked=True,
                 latency_s=latency,
+                waited_s=waited_s,
                 degraded=res.degraded,
                 degraded_reason=reason,
                 retries=attempt,
@@ -151,6 +175,7 @@ class RobustProxy:
             key=req.key,
             acked=False,
             latency_s=waited_s,
+            waited_s=waited_s,
             retries=policy.max_retries,
             error=f"{type(error).__name__}: {error}",
         )

@@ -13,7 +13,12 @@ takes the per-node MTTF in simulated seconds directly.
 Five fault shapes (the transient ones carry a duration):
 
 * ``crash``      -- permanent node loss; ends only via repair/recovery,
-* ``blip``       -- transient process crash, auto-restored after ``duration_s``,
+* ``blip``       -- transient outage, auto-restored after ``duration_s``.
+  On a *log* node this is a crash-restart: the volatile delta buffer is
+  lost and recovery must rebuild the parities (§3.3.2).  On a *DRAM* node
+  it models a brief unavailability (process pause, switch hiccup) whose
+  contents survive -- a DRAM crash-restart that loses state is a ``crash``
+  followed by repair,
 * ``stall``      -- log-node disk unresponsive for ``duration_s``,
 * ``slow``       -- straggler: exchanges with the node take ``magnitude`` x,
 * ``partition``  -- proxy<->node link down for ``duration_s``.

@@ -5,6 +5,10 @@ five requests (§4.1) so the experiment drivers treat them uniformly.  Every
 operation returns an :class:`OpResult` carrying the simulated latency and,
 for reads, the object's physical bytes (so tests can verify reconstruction
 bit-exactly).
+
+Error taxonomy: :class:`StoreUnavailableError` for transient can't-serve
+conditions (retryable), :class:`DataLossError` for stripes that have lost
+more chunks than the code tolerates.
 """
 
 from __future__ import annotations
@@ -13,6 +17,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 import numpy as np
+
+
+class StoreUnavailableError(RuntimeError):
+    """The cluster cannot serve the op right now (nodes down, links
+    partitioned, no placement possible).  Transient by nature: retrying after
+    faults heal may succeed, which is why the chaos proxy treats exactly this
+    family -- and not arbitrary ``RuntimeError``\\ s -- as retryable."""
 
 
 class DataLossError(RuntimeError):

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import StoreConfig
-from repro.core.interface import OpResult
+from repro.core.interface import OpResult, StoreUnavailableError
 from repro.core.striped import StripedStoreBase
 from repro.ec.delta import ParityDelta
 from repro.ec.gf256 import gf_mul_scalar
@@ -53,12 +53,16 @@ class LogECMem(StripedStoreBase):
             nid for nid in self.cluster.alive_dram_ids() if nid not in data_nodes
         ]
         if not candidates:
-            raise RuntimeError(f"stripe {stripe_id}: no DRAM node free for the XOR parity")
+            raise StoreUnavailableError(
+                f"stripe {stripe_id}: no DRAM node free for the XOR parity"
+            )
         xor_node = candidates[stripe_id % len(candidates)]
         # logged parities rotate over the alive log nodes for even load
         log_ids = self.cluster.alive_log_ids()
         if not log_ids:
-            raise RuntimeError(f"stripe {stripe_id}: no alive log node for parities")
+            raise StoreUnavailableError(
+                f"stripe {stripe_id}: no alive log node for parities"
+            )
         logged = [log_ids[(stripe_id + j) % len(log_ids)] for j in range(self.cfg.r - 1)]
         return [xor_node] + logged
 
@@ -189,7 +193,11 @@ class LogECMem(StripedStoreBase):
         """Read up-to-date non-XOR parities from log nodes (§5.2).
 
         Cost per parity: one RPC to the log node plus its scheme-dependent
-        disk work to materialise base chunk + deltas."""
+        disk work to materialise base chunk + deltas.  A log node only
+        qualifies when the proxy can actually reach it *and* its parities
+        are current: a node behind a partitioned link, or one marked
+        ``needs_recovery`` (it missed parity deltas while down/partitioned),
+        would hand back stale bytes that decode to a wrong-but-acked value."""
         cfg = self.cfg
         rec = self.stripe_index.get(sid)
         now = self.cluster.clock.now
@@ -203,12 +211,12 @@ class LogECMem(StripedStoreBase):
                 continue
             nid = rec.chunk_nodes[gi]
             node = self.cluster.log_nodes[nid]
-            if not node.alive:
+            if not node.alive or not self.net.reachable(nid) or node.needs_recovery:
                 continue
             result = node.read_uptodate_parity(
                 sid, j, cfg.phys_chunk_size(), now
             )
-            latency += self.net.rpc(64, cfg.chunk_size) + result.duration_s
+            latency += self.net.rpc_to(nid, 64, cfg.chunk_size) + result.duration_s
             latency += cfg.profile.node_service_s
             self.counters.add("logged_parity_reads")
             self.counters.add("logged_parity_disk_reads", result.disk_reads)

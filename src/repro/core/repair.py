@@ -104,11 +104,16 @@ def repair_node(
     for sid in stripes:
         rec = store.stripe_index.get(sid)
         lost = rec.chunks_on_node(node_id)
+        # a log parity only assists when its node is up, reachable, and not
+        # stale (needs_recovery: it missed deltas and would serve wrong bytes)
         alive_logged = [
             j
             for j in range(1, cfg.r)
-            if cluster.log_nodes.get(rec.chunk_nodes[cfg.k + j], None) is not None
-            and cluster.log_nodes[rec.chunk_nodes[cfg.k + j]].alive
+            if (log_node := cluster.log_nodes.get(rec.chunk_nodes[cfg.k + j]))
+            is not None
+            and log_node.alive
+            and cluster.network.reachable(rec.chunk_nodes[cfg.k + j])
+            and not log_node.needs_recovery
         ]
         for gi in lost:
             dram_survivors = sum(

@@ -21,14 +21,19 @@ import numpy as np
 
 from repro.cluster.topology import Cluster
 from repro.core.config import StoreConfig
-from repro.core.interface import DataLossError, KVStore, OpResult
+from repro.core.interface import (
+    DataLossError,
+    KVStore,
+    OpResult,
+    StoreUnavailableError,
+)
 from repro.ec.rs import RSCode
 from repro.kvstore.chunk import Chunk, ChunkSlot, make_value
 from repro.kvstore.object_index import ObjectIndex, ObjectLocation
 from repro.kvstore.stripe_index import StripeIndex, StripeRecord
 
 
-class ChunkUnavailableError(RuntimeError):
+class ChunkUnavailableError(StoreUnavailableError):
     """A chunk's node is down (or the read was forced degraded)."""
 
 
@@ -87,7 +92,7 @@ class StripedStoreBase(KVStore):
             if nid not in data_nodes
         ]
         if len(candidates) < self.cfg.r:
-            raise RuntimeError(
+            raise StoreUnavailableError(
                 f"stripe {stripe_id}: only {len(candidates)} parity candidates "
                 f"for r={self.cfg.r}"
             )
@@ -154,7 +159,7 @@ class StripedStoreBase(KVStore):
                 nid for nid in self.cluster.alive_dram_ids() if self.net.reachable(nid)
             ]
             if not alive:
-                raise RuntimeError("no reachable DRAM node to accept writes")
+                raise StoreUnavailableError("no reachable DRAM node to accept writes")
             candidates = alive[:2]
         if len(candidates) == 1:
             return candidates[0]

@@ -424,6 +424,94 @@ def test_striped_read_degrades_on_partition():
     assert np.array_equal(res.value, store.expected_value(key))
 
 
+def test_degraded_read_never_uses_stale_partitioned_parity():
+    """Regression: updates during a log-node partition leave that node's
+    persisted parity stale; a concurrent multi-failure degraded read must
+    fetch the fresh parity from the *other* log node (skipping the
+    partitioned/stale one), so the acked read returns the right bytes."""
+    store = small_store()
+    load_store(store, small_spec())
+    store.net.set_link_down("log0")
+    # a sealed key whose stripe logs parity 1 on log0 -- the parity the old
+    # fetch loop would have read first
+    key = next(
+        k
+        for k in sorted(store.versions)
+        if (sid := store._locate(k)[0]) is not None
+        and store.stripe_index.get(sid).chunk_nodes[CFG["k"] + 1] == "log0"
+    )
+    store.update(key)  # log0 misses the delta and is marked stale
+    assert store.cluster.log_nodes["log0"].needs_recovery
+    sid, seq, home, _, _ = store._locate(key)
+    rec = store.stripe_index.get(sid)
+    store.cluster.kill(home)
+    store.cluster.kill(rec.chunk_nodes[CFG["k"]])  # XOR node: 2 DRAM chunks gone
+    before = store.counters["logged_parity_reads"]
+    res = store.read(key)
+    assert res.degraded
+    assert store.counters["logged_parity_reads"] == before + 1  # log1 only
+    assert np.array_equal(res.value, store.expected_value(key))
+
+
+def test_proxy_reports_backoff_waits_separately():
+    """The driver advances the clock during each backoff via the wait hook,
+    so the outcome must expose waited_s apart from the client latency --
+    otherwise the harness would advance the waits a second time."""
+    store = small_store()
+    load_store(store, small_spec())
+    key = "user0000000000000000"
+    _, _, node_id, _, _ = store._locate(key)
+    store.cluster.kill(node_id)
+    healed = {"done": False}
+
+    def wait(dt):
+        if not healed["done"]:
+            store.cluster.restore(node_id)
+            healed["done"] = True
+
+    proxy = RobustProxy(store, RetryPolicy(jitter_fraction=0.0), wait=wait)
+    from repro.workloads.ycsb import Operation, Request
+
+    outcome = proxy.execute(Request(Operation.UPDATE, key))
+    assert outcome.acked
+    assert outcome.waited_s == pytest.approx(1e-3)  # one backoff at the base
+    assert outcome.service_s == pytest.approx(outcome.latency_s - outcome.waited_s)
+    assert outcome.service_s > 0
+
+
+def test_proxy_only_retries_unavailability_errors():
+    """Only unavailability-family errors are retryable; a workload bug
+    (KeyError) or an arbitrary internal RuntimeError must surface."""
+    store = small_store()
+    load_store(store, small_spec())
+    proxy = RobustProxy(store, RetryPolicy(max_retries=3, jitter_fraction=0.0))
+    from repro.workloads.ycsb import Operation, Request
+
+    with pytest.raises(KeyError):
+        proxy.execute(Request(Operation.READ, "user9999999999999999"))
+
+    def boom(key):
+        raise RuntimeError("internal bug")
+
+    store.read = boom
+    with pytest.raises(RuntimeError):
+        proxy.execute(Request(Operation.READ, "user0000000000000000"))
+    assert proxy.retries == 0
+    assert proxy.failed_ops == 0
+
+
+def test_repair_restore_includes_repair_window():
+    """A repaired node rejoins at when + repair_time_s, so its downtime is
+    the detection delay plus the repair itself."""
+    store = small_store()
+    schedule = FaultSchedule([FaultEvent(0.0, FaultKind.CRASH, "dram1")])
+    report = run_chaos(store, small_spec(), schedule=schedule)
+    rec = report.repairs[0]
+    assert rec["node"] == "dram1" and rec["repair_time_s"] > 0
+    node = store.cluster.dram_nodes["dram1"]
+    assert node.downtime_s == pytest.approx(5e-3 + rec["repair_time_s"])
+
+
 def test_update_skips_unreachable_log_node_and_marks_stale():
     store = small_store()
     load_store(store, small_spec())
