@@ -36,3 +36,34 @@ def breakdown_shares(results: list[OpResult]) -> dict[str, float]:
     if total <= 0:
         return {}
     return {phase: seconds / total for phase, seconds in means.items()}
+
+
+def aggregate_span_phases(spans) -> dict[str, dict[str, float]]:
+    """Mean seconds per phase, per op, over finished root spans.
+
+    The span-tree counterpart of :func:`aggregate_breakdowns`: phases are a
+    root span's direct children (``update -> read_old_xor/encode_delta/
+    ship_delta/log_ack``, ...), so any traced op -- not just the ones that
+    attach ``info['breakdown']`` -- gets a breakdown.
+    """
+    sums: dict[str, dict[str, float]] = {}
+    counts: dict[str, int] = defaultdict(int)
+    for span in spans:
+        counts[span.name] += 1
+        per_op = sums.setdefault(span.name, defaultdict(float))
+        for phase, seconds in span.phase_seconds().items():
+            per_op[phase] += seconds
+    return {
+        op: {phase: total / counts[op] for phase, total in sorted(per_op.items())}
+        for op, per_op in sorted(sums.items())
+    }
+
+
+def span_shares(spans) -> dict[str, dict[str, float]]:
+    """Phase shares of each op's total (fractions summing to ~1 per op)."""
+    out: dict[str, dict[str, float]] = {}
+    for op, phases in aggregate_span_phases(spans).items():
+        total = sum(phases.values())
+        if total > 0:
+            out[op] = {phase: s / total for phase, s in phases.items()}
+    return out

@@ -56,12 +56,17 @@ class FSMem(StripedStoreBase):
             if tombstone
             else self._new_value(key, new_version)
         )
+        span = self.tracer.start("update", key=key)
         latency = self.net.client_hop(64 + cfg.value_size)
+        span.child("client_hop", latency)
         if sid is None:
             # object not sealed yet: replace it inside the open unit
             chunk.write_slot(slot, new_value)
             self.versions[key] = new_version
-            latency += self.net.parallel_puts([cfg.value_size])
+            put_s = self.net.parallel_puts([cfg.value_size], node_ids=[node_id])
+            span.child("put_object", put_s, node=node_id)
+            latency += put_s
+            self.tracer.finish(span, latency)
             return OpResult(latency_s=latency)
 
         # full-stripe path: the new version enqueues toward a NEW stripe; the
@@ -72,19 +77,27 @@ class FSMem(StripedStoreBase):
         self.cluster.dram_nodes[new_node].table.set(
             f"{key}@v{new_version}", cfg.value_size
         )
-        latency += self.net.parallel_puts([cfg.value_size])
+        put_s = self.net.parallel_puts([cfg.value_size], node_ids=[new_node])
+        span.child("put_object", put_s, node=new_node)
+        latency += put_s
         stale = self.stale_chunks.setdefault(sid, set())
         if seq not in stale:
             stale.add(seq)
             self._stale_chunk_count += 1
         self._stale_version_bytes += cfg.value_size
-        latency += self._maybe_seal()
+        seal_s = self._maybe_seal()
+        if seal_s > 0:
+            span.child("seal_stripe", seal_s)
+        latency += seal_s
         self._update_counter += 1
         if (
             cfg.fsmem_gc_stale_threshold is not None
             and self._stale_chunk_count >= cfg.fsmem_gc_stale_threshold
         ):
-            latency += self._run_gc()
+            gc_s = self._run_gc()
+            span.child("gc", gc_s)
+            latency += gc_s
+        self.tracer.finish(span, latency)
         return OpResult(latency_s=latency)
 
     # ---------------------------------------------------------------------- GC

@@ -37,26 +37,37 @@ class IPMem(StripedStoreBase):
             if tombstone
             else self._new_value(key, new_version)
         )
+        span = self.tracer.start("update", key=key)
         latency = self.net.client_hop(64 + cfg.value_size)
+        span.child("client_hop", latency)
         if sid is None:
             chunk.write_slot(slot, new_value)
             self.versions[key] = new_version
-            latency += self.net.sequential_gets([cfg.value_size])
-            latency += self.net.parallel_puts([cfg.value_size])
+            get_s = self.net.sequential_gets([cfg.value_size], node_ids=[node_id])
+            span.child("read_old", get_s, node=node_id)
+            put_s = self.net.parallel_puts([cfg.value_size], node_ids=[node_id])
+            span.child("put_object", put_s, node=node_id)
+            latency += get_s + put_s
+            self.tracer.finish(span, latency)
             return OpResult(latency_s=latency)
 
         client_s = latency
+        rec = self.stripe_index.get(sid)
+        parity_nodes = rec.chunk_nodes[cfg.k :]
 
         # read old data chunk object and ALL r old parity chunks
         old = chunk.read_slot(slot).copy()
         reads_s = self.net.sequential_gets(
-            [cfg.value_size] + [cfg.chunk_size] * cfg.r
+            [cfg.value_size] + [cfg.chunk_size] * cfg.r,
+            node_ids=[node_id] + parity_nodes,
         )
+        span.child("read_old_parities", reads_s, node=node_id)
         self.counters.add("parity_chunk_reads", cfg.r)
 
         # deltas for every parity at the proxy, then in-place writes
         delta = old ^ new_value
         compute_s = cfg.profile.encode_s((1 + cfg.r) * cfg.value_size)
+        span.child("encode_delta", compute_s)
         chunk.write_slot(slot, new_value)
         self._set_checksum(sid, seq, chunk.buffer)
         for j in range(cfg.r):
@@ -65,9 +76,12 @@ class IPMem(StripedStoreBase):
             parity[slot.phys_offset : slot.phys_end] ^= gf_mul_scalar(coeff, delta)
             self._set_checksum(sid, cfg.k + j, parity)
         writes_s = self.net.parallel_puts(
-            [cfg.value_size] + [cfg.chunk_size] * cfg.r
+            [cfg.value_size] + [cfg.chunk_size] * cfg.r,
+            node_ids=[node_id] + parity_nodes,
         )
+        span.child("ship_delta", writes_s, fanout=1 + cfg.r)
         self.versions[key] = new_version
+        self.tracer.finish(span, client_s + reads_s + compute_s + writes_s)
         return OpResult(
             latency_s=client_s + reads_s + compute_s + writes_s,
             info={

@@ -12,6 +12,7 @@ from repro.cluster.topology import Cluster
 from repro.core.config import StoreConfig
 from repro.core.interface import DataLossError, KVStore, OpResult
 from repro.kvstore.chunk import make_value
+from repro.obs import init_observability
 
 
 class ReplicatedStore(KVStore):
@@ -31,6 +32,7 @@ class ReplicatedStore(KVStore):
         self.counters = self.cluster.counters
         self.versions: dict[str, int] = {}
         self.placement: dict[str, list[str]] = {}
+        init_observability(self)
 
     def _phys_len(self) -> int:
         return max(1, round(self.cfg.value_size * self.cfg.payload_scale))
@@ -46,45 +48,68 @@ class ReplicatedStore(KVStore):
         if key in self.versions:
             raise KeyError(f"object {key!r} already exists; use update()")
         self.versions[key] = 0
-        for nid in self._replicate(key):
+        replicas = self._replicate(key)
+        for nid in replicas:
             self.cluster.dram_nodes[nid].table.set(key, self.cfg.value_size)
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.parallel_puts([self.cfg.value_size] * self.copies)
+        span = self.tracer.start("write", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        put_s = self.net.parallel_puts(
+            [self.cfg.value_size] * self.copies, node_ids=replicas
+        )
+        span.child("put_replicas", put_s, fanout=self.copies)
         self.counters.add("op_write")
-        return OpResult(latency_s=latency)
+        self.tracer.finish(span, client_s + put_s)
+        return OpResult(latency_s=client_s + put_s)
 
     def read(self, key: str) -> OpResult:
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
         primary = self._replicate(key)[0]
-        if not self.cluster.dram_nodes[primary].alive:
+        if not self.cluster.dram_nodes[primary].alive or not self.net.reachable(
+            primary
+        ):
             result = self.degraded_read(key)
             result.degraded = True
             return result
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.sequential_gets([self.cfg.value_size])
+        span = self.tracer.start("read", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        get_s = self.net.sequential_gets([self.cfg.value_size], node_ids=[primary])
+        span.child("fetch_object", get_s, node=primary)
         self.counters.add("op_read")
-        return OpResult(latency_s=latency, value=self.expected_value(key))
+        self.tracer.finish(span, client_s + get_s)
+        return OpResult(latency_s=client_s + get_s, value=self.expected_value(key))
 
     def update(self, key: str) -> OpResult:
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
         self.versions[key] += 1
-        for nid in self._replicate(key):
+        replicas = self._replicate(key)
+        for nid in replicas:
             self.cluster.dram_nodes[nid].table.set(key, self.cfg.value_size)
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.parallel_puts([self.cfg.value_size] * self.copies)
+        span = self.tracer.start("update", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        put_s = self.net.parallel_puts(
+            [self.cfg.value_size] * self.copies, node_ids=replicas
+        )
+        span.child("put_replicas", put_s, fanout=self.copies)
         self.counters.add("op_update")
-        return OpResult(latency_s=latency)
+        self.tracer.finish(span, client_s + put_s)
+        return OpResult(latency_s=client_s + put_s)
 
     def delete(self, key: str) -> OpResult:
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
-        for nid in self._replicate(key):
+        replicas = self._replicate(key)
+        for nid in replicas:
             self.cluster.dram_nodes[nid].table.delete(key)
         del self.versions[key]
         del self.placement[key]
-        latency = self.net.client_hop(64) + self.net.parallel_puts([64] * self.copies)
+        latency = self.net.client_hop(64) + self.net.parallel_puts(
+            [64] * self.copies, node_ids=replicas
+        )
         self.counters.add("op_delete")
         return OpResult(latency_s=latency)
 
@@ -93,16 +118,27 @@ class ReplicatedStore(KVStore):
         replica -- no decoding, hence the paper's low degraded latency."""
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
+        span = self.tracer.start("degraded_read", key=key)
         latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.rpc(64, 0)  # the failed attempt
+        span.child("client_hop", latency)
+        failed_s = self.net.rpc(64, 0)  # the failed attempt
+        span.child("failed_attempt", failed_s)
+        latency += failed_s
         for nid in self._replicate(key)[1:]:
-            if self.cluster.dram_nodes[nid].alive:
-                latency += self.net.sequential_gets([self.cfg.value_size])
+            if self.cluster.dram_nodes[nid].alive and self.net.reachable(nid):
+                get_s = self.net.sequential_gets(
+                    [self.cfg.value_size], node_ids=[nid]
+                )
+                span.child("fetch_replica", get_s, node=nid)
+                latency += get_s
                 self.counters.add("op_degraded_read")
+                self.tracer.finish(span, latency)
                 return OpResult(
                     latency_s=latency, value=self.expected_value(key), degraded=True
                 )
-            latency += self.net.rpc(64, 0)
+            failed_s = self.net.rpc(64, 0)
+            span.child("failed_attempt", failed_s)
+            latency += failed_s
         raise DataLossError(f"all {self.copies} replicas of {key!r} are down")
 
     @property

@@ -10,6 +10,7 @@ from repro.cluster.topology import Cluster
 from repro.core.config import StoreConfig
 from repro.core.interface import DataLossError, KVStore, OpResult
 from repro.kvstore.chunk import make_value
+from repro.obs import init_observability
 
 
 class VanillaMemcached(KVStore):
@@ -24,6 +25,7 @@ class VanillaMemcached(KVStore):
         self.counters = self.cluster.counters
         self.versions: dict[str, int] = {}
         self.placement: dict[str, str] = {}
+        init_observability(self)
 
     def _phys_len(self) -> int:
         return max(1, round(self.cfg.value_size * self.cfg.payload_scale))
@@ -35,42 +37,59 @@ class VanillaMemcached(KVStore):
         self.placement[key] = node_id
         self.versions[key] = 0
         self.cluster.dram_nodes[node_id].table.set(key, self.cfg.value_size)
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.parallel_puts([self.cfg.value_size])
+        span = self.tracer.start("write", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        put_s = self.net.parallel_puts([self.cfg.value_size], node_ids=[node_id])
+        span.child("put_object", put_s, node=node_id)
         self.counters.add("op_write")
-        return OpResult(latency_s=latency)
+        self.tracer.finish(span, client_s + put_s)
+        return OpResult(latency_s=client_s + put_s)
 
     def read(self, key: str) -> OpResult:
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
-        node = self.cluster.dram_nodes[self.placement[key]]
-        if not node.alive:
+        node_id = self.placement[key]
+        if not self.cluster.dram_nodes[node_id].alive:
             raise DataLossError(f"vanilla store lost {key!r} (no redundancy)")
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.sequential_gets([self.cfg.value_size])
+        span = self.tracer.start("read", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        get_s = self.net.sequential_gets([self.cfg.value_size], node_ids=[node_id])
+        span.child("fetch_object", get_s, node=node_id)
         self.counters.add("op_read")
-        return OpResult(latency_s=latency, value=self.expected_value(key))
+        self.tracer.finish(span, client_s + get_s)
+        return OpResult(latency_s=client_s + get_s, value=self.expected_value(key))
 
     def update(self, key: str) -> OpResult:
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
         self.versions[key] += 1
-        node = self.cluster.dram_nodes[self.placement[key]]
-        node.table.set(key, self.cfg.value_size)  # in-place replace
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        latency += self.net.parallel_puts([self.cfg.value_size])
+        node_id = self.placement[key]
+        self.cluster.dram_nodes[node_id].table.set(key, self.cfg.value_size)
+        span = self.tracer.start("update", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        put_s = self.net.parallel_puts([self.cfg.value_size], node_ids=[node_id])
+        span.child("put_object", put_s, node=node_id)
         self.counters.add("op_update")
-        return OpResult(latency_s=latency)
+        self.tracer.finish(span, client_s + put_s)
+        return OpResult(latency_s=client_s + put_s)
 
     def delete(self, key: str) -> OpResult:
         if key not in self.versions:
             raise KeyError(f"object {key!r} does not exist")
-        node = self.cluster.dram_nodes[self.placement.pop(key)]
-        node.table.delete(key)
+        node_id = self.placement.pop(key)
+        self.cluster.dram_nodes[node_id].table.delete(key)
         del self.versions[key]
-        latency = self.net.client_hop(64) + self.net.parallel_puts([64])
+        span = self.tracer.start("delete", key=key)
+        client_s = self.net.client_hop(64)
+        span.child("client_hop", client_s)
+        put_s = self.net.parallel_puts([64], node_ids=[node_id])
+        span.child("put_tombstone", put_s, node=node_id)
         self.counters.add("op_delete")
-        return OpResult(latency_s=latency)
+        self.tracer.finish(span, client_s + put_s)
+        return OpResult(latency_s=client_s + put_s)
 
     def degraded_read(self, key: str) -> OpResult:
         raise DataLossError("vanilla Memcached has no redundancy to read from")

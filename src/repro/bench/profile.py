@@ -1,0 +1,178 @@
+"""Per-phase profiling harness (``python -m repro profile <exp>``).
+
+Runs a scaled-down slice of the paper's experiments with span tracing on and
+distils each into a deterministic perf snapshot: per-op latency quantiles
+(p50/p90/p99 from the streaming histograms), per-phase mean times (from the
+span trees), and the run's counter deltas.  ``write_profile`` serialises the
+whole document with sorted keys and rounded floats, so two same-seed runs
+produce **byte-identical** ``BENCH_PR3.json`` files -- the regression
+baseline future perf PRs diff against.
+
+Covered slices:
+
+* ``exp1`` -- all five stores under the 95:5 read-heavy mix, plus forced
+  degraded reads (Figure 10's regime);
+* ``exp2`` -- the EC stores under the 50:50 update-heavy mix (Figure 11);
+* ``exp6`` -- LogECMem degraded reads with two DRAM nodes down, exercising
+  the logged-parity escalation (Figure 14 c-d);
+* ``exp7`` -- node repair with and without log-assist (Figure 15).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.baselines import make_store
+from repro.bench.runner import load_store, measure_degraded_reads, run_requests
+from repro.core.config import StoreConfig
+from repro.core.repair import repair_node
+from repro.obs import init_observability
+from repro.workloads import WorkloadSpec, generate_requests
+
+PROFILE_EXPERIMENTS = ("exp1", "exp2", "exp6", "exp7")
+
+ALL_STORES = ("vanilla", "replication", "ipmem", "fsmem", "logecmem")
+EC_STORES = ("ipmem", "fsmem", "logecmem")
+
+#: forced degraded reads sampled per store in exp1/exp6
+DEGRADED_SAMPLES = 40
+
+
+def _counter_delta(before: dict, after: dict) -> dict[str, float]:
+    """Counters that moved during the profiled window, rounded for stable
+    JSON (sorted keys; zero-delta entries omitted)."""
+    out = {}
+    for key in sorted(set(before) | set(after)):
+        delta = round(after.get(key, 0.0) - before.get(key, 0.0), 6)
+        if delta != 0:
+            out[key] = delta
+    return out
+
+
+def _span_digest(spans) -> str:
+    """Deterministic fingerprint of the retained span trees."""
+    doc = json.dumps([s.to_dict() for s in spans], sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()[:16]
+
+
+def _snapshot(store, counters_before: dict, spans) -> dict:
+    snap = store.metrics.snapshot()
+    snap["counters"] = _counter_delta(counters_before, store.counters.as_dict())
+    snap["spans_digest"] = _span_digest(spans)
+    return snap
+
+
+def _spec(ratio: str, n_objects: int, n_requests: int, seed: int) -> WorkloadSpec:
+    return WorkloadSpec.read_update(
+        ratio, n_objects=n_objects, n_requests=n_requests, seed=seed
+    )
+
+
+def profile_exp1(n_objects: int, n_requests: int, seed: int) -> dict:
+    """Basic I/O: every store, 95:5 mix, plus forced degraded reads."""
+    out = {}
+    for name in ALL_STORES:
+        store = make_store(name, StoreConfig(k=6, r=3, value_size=4096, scheme="plm"))
+        spec = _spec("95:5", n_objects, n_requests, seed)
+        load_store(store, spec)
+        before = dict(store.counters.as_dict())
+        result = run_requests(store, generate_requests(spec), spec, profile=True)
+        spans = list(result.spans)
+        if name != "vanilla":  # vanilla has no redundancy to degrade onto
+            measure_degraded_reads(store, spec, samples=DEGRADED_SAMPLES)
+            spans += store.tracer.drain()
+        out[name] = _snapshot(store, before, spans)
+    return out
+
+
+def profile_exp2(n_objects: int, n_requests: int, seed: int) -> dict:
+    """Update path: the EC stores under the 50:50 mix."""
+    out = {}
+    for name in EC_STORES:
+        store = make_store(name, StoreConfig(k=6, r=3, value_size=4096, scheme="plm"))
+        spec = _spec("50:50", n_objects, n_requests, seed)
+        load_store(store, spec)
+        before = dict(store.counters.as_dict())
+        result = run_requests(store, generate_requests(spec), spec, profile=True)
+        out[name] = _snapshot(store, before, result.spans)
+    return out
+
+
+def profile_exp6(n_objects: int, n_requests: int, seed: int) -> dict:
+    """Multi-failure degraded reads: two DRAM nodes down, logged-parity
+    escalation on every stripe that lost two chunks."""
+    store = make_store("logecmem", StoreConfig(k=6, r=3, value_size=4096, scheme="plm"))
+    spec = _spec("95:5", n_objects, n_requests, seed)
+    load_store(store, spec)
+    for nid in store.cluster.dram_ids()[:2]:
+        store.cluster.kill(nid)
+    init_observability(store)
+    before = dict(store.counters.as_dict())
+    measure_degraded_reads(store, spec, samples=DEGRADED_SAMPLES)
+    return {"logecmem": _snapshot(store, before, store.tracer.drain())}
+
+
+def profile_exp7(n_objects: int, n_requests: int, seed: int) -> dict:
+    """Node repair, with and without log-assist, on one failed DRAM node."""
+    store = make_store("logecmem", StoreConfig(k=6, r=3, value_size=4096, scheme="plm"))
+    spec = _spec("95:5", n_objects, n_requests, seed)
+    load_store(store, spec)
+    victim = store.cluster.dram_ids()[0]
+    store.cluster.kill(victim)
+    init_observability(store)
+    before = dict(store.counters.as_dict())
+    out = {}
+    for assist in (True, False):
+        repair = repair_node(store, victim, log_assist=assist)
+        label = "logecmem+assist" if assist else "logecmem-noassist"
+        out[label] = {
+            "repair_time_s": round(repair.repair_time_s, 9),
+            "chunks_repaired": repair.chunks_repaired,
+            "log_assisted_stripes": repair.log_assisted_stripes,
+        }
+    out["logecmem"] = _snapshot(store, before, store.tracer.drain())
+    return out
+
+
+PROFILE_FUNCS = {
+    "exp1": profile_exp1,
+    "exp2": profile_exp2,
+    "exp6": profile_exp6,
+    "exp7": profile_exp7,
+}
+
+
+def run_profile(
+    experiments: list[str] | tuple[str, ...],
+    n_objects: int = 600,
+    n_requests: int = 600,
+    seed: int = 42,
+) -> dict:
+    """Run the named profile slices; returns the BENCH document."""
+    doc = {
+        "meta": {
+            "objects": n_objects,
+            "requests": n_requests,
+            "seed": seed,
+            "experiments": sorted(experiments),
+        },
+        "experiments": {},
+    }
+    for exp in experiments:
+        if exp not in PROFILE_FUNCS:
+            raise KeyError(f"unknown profile experiment {exp!r}")
+        doc["experiments"][exp] = PROFILE_FUNCS[exp](n_objects, n_requests, seed)
+    return doc
+
+
+def serialise_profile(doc: dict) -> str:
+    """Canonical byte-stable serialisation (sorted keys, trailing newline)."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_profile(doc: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(serialise_profile(doc))
+    return path

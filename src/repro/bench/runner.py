@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from statistics import median, pstdev
 
 from repro.core.interface import KVStore
+from repro.obs import init_observability
 from repro.sim.closedloop import ClosedLoopResult, OpDemand, simulate
 from repro.workloads.ycsb import (
     Operation,
@@ -36,6 +37,9 @@ class WorkloadResult:
     counters: dict[str, float] = field(default_factory=dict)
     disk_io_count: int = 0
     throughput_ops_s: float = 0.0
+    #: populated by ``run_requests(..., profile=True)``
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
 
     def op_count(self, op: str) -> int:
         return len(self.latencies_s.get(op, ()))
@@ -113,13 +117,21 @@ def run_requests(
     requests: list[Request],
     spec: WorkloadSpec,
     record_demands: bool = False,
+    profile: bool = False,
 ) -> WorkloadResult:
     """Replay a request stream; returns latency stats and counters.
 
     With ``record_demands`` each request also yields an
     :class:`~repro.sim.closedloop.OpDemand` (proxy CPU / NIC / remote split,
     derived from the per-op counter deltas) for closed-loop simulation.
+
+    With ``profile`` the store's observability is re-initialised first (so
+    load-phase writes don't pollute the run-phase histograms) and the result
+    carries the retained span trees (``result.spans``) plus the metrics
+    snapshot (``result.metrics``: per-op latency quantiles, per-phase means).
     """
+    if profile:
+        init_observability(store)
     result = WorkloadResult(store=store.name, spec=spec)
     lats = result.latencies_s
     clock = store.cluster.clock
@@ -153,6 +165,9 @@ def run_requests(
             )
     # memory is measured in the paper's regime: before any deferred GC/reclaim
     result.memory_bytes = store.memory_logical_bytes
+    if profile:
+        result.spans = store.tracer.drain()
+        result.metrics = store.metrics.snapshot()
     store.finalize()
     result.deferred_update_s = getattr(store, "gc_deferred_s", 0.0)
     result.counters = store.counters.as_dict()

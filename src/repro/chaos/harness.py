@@ -67,6 +67,9 @@ class ChaosReport:
     makespan_s: float = 0.0
     throughput_ops_s: float = 0.0
     mean_response_s: float = 0.0
+    #: per-op latency quantiles + phase means, captured BEFORE the invariant
+    #: sweep (the checkers reuse real read machinery and perturb counters)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def violations(self) -> int:
@@ -98,6 +101,7 @@ class ChaosReport:
             "makespan_s": self.makespan_s,
             "throughput_ops_s": self.throughput_ops_s,
             "mean_response_s": self.mean_response_s,
+            "metrics": self.metrics,
         }
 
     def fingerprint(self) -> str:
@@ -371,7 +375,9 @@ class ChaosRun:
             report.throughput_ops_s = cl.throughput_ops_s
             report.mean_response_s = cl.mean_response_s
         # invariants last: the checkers reuse the real read/repair machinery,
-        # which perturbs cost counters -- metrics above are already captured
+        # which perturbs cost counters -- so the metrics snapshot (per-op
+        # latency quantiles + span-fed phase means) is captured first
+        report.metrics = store.metrics.snapshot()
         invariant_report: InvariantReport = check_store(store)
         report.invariants = invariant_report.to_dict()
         return report

@@ -118,6 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(p)
 
     p = sub.add_parser(
+        "profile",
+        help="span-traced per-phase profile; writes a deterministic perf "
+        "snapshot (BENCH_PR3.json)",
+    )
+    p.add_argument(
+        "experiment",
+        choices=["exp1", "exp2", "exp6", "exp7", "all"],
+        help="which profile slice to run ('all' = every slice)",
+    )
+    p.add_argument("--objects", type=int, default=600)
+    p.add_argument("--requests", type=int, default=600)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--out",
+        default="BENCH_PR3.json",
+        help="perf-snapshot path (default: BENCH_PR3.json)",
+    )
+
+    p = sub.add_parser(
         "chaos", help="workload under a seeded fault schedule + invariant sweep"
     )
     p.add_argument("--store", default="logecmem",
@@ -291,6 +310,39 @@ def cmd_run(args, out) -> None:
         f"log-disk IOs: {result.disk_io_count}")
 
 
+def cmd_profile(args, out) -> None:
+    from repro.bench.profile import PROFILE_EXPERIMENTS, run_profile, write_profile
+
+    experiments = (
+        list(PROFILE_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    doc = run_profile(
+        experiments,
+        n_objects=args.objects,
+        n_requests=args.requests,
+        seed=args.seed,
+    )
+    for exp, stores in doc["experiments"].items():
+        for store, snap in sorted(stores.items()):
+            ops = snap.get("ops")
+            if not ops:
+                continue
+            rows = [
+                [op, s["count"], s["mean_us"], s["p50_us"], s["p99_us"]]
+                for op, s in ops.items()
+                if s.get("count")
+            ]
+            out(format_table(
+                ["op", "count", "mean us", "p50 us", "p99 us"], rows,
+                title=f"{exp} / {store}",
+            ))
+            for op, phases in snap.get("phases", {}).items():
+                parts = "  ".join(f"{k}={v:.1f}us" for k, v in phases.items())
+                out(f"  {op}: {parts}")
+    path = write_profile(doc, args.out)
+    out(f"perf snapshot written to {path}")
+
+
 def cmd_chaos(args, out) -> None:
     from repro.chaos import run_chaos
 
@@ -368,6 +420,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "tradeoff": cmd_tradeoff,
         "report": cmd_report,
         "run": cmd_run,
+        "profile": cmd_profile,
         "chaos": cmd_chaos,
     }
     handler = handlers.get(args.command, cmd_experiment)

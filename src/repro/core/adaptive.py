@@ -76,21 +76,35 @@ class AdaptiveLogECMem(LogECMem):
         new_value = self._new_value(key, new_version)
         old = chunk.read_slot(slot).copy()
         delta = old ^ new_value
+        rec = self.stripe_index.get(sid)
+        xor_node = rec.chunk_nodes[cfg.k]
+        span = self.tracer.start("update", key=key, hot=True)
         latency = self.net.client_hop(64 + cfg.value_size)
-        latency += self.net.sequential_gets([cfg.value_size, cfg.chunk_size])
-        latency += cfg.profile.encode_s(2 * cfg.value_size)
+        span.child("client_hop", latency)
+        reads_s = self.net.sequential_gets(
+            [cfg.value_size, cfg.chunk_size], node_ids=[node_id, xor_node]
+        )
+        span.child("read_old_xor", reads_s, node=node_id, xor_node=xor_node)
+        compute_s = cfg.profile.encode_s(2 * cfg.value_size)
+        span.child("encode_delta", compute_s)
+        latency += reads_s + compute_s
         self.counters.add("parity_chunk_reads")
         chunk.write_slot(slot, new_value)
         xor = self.parity_chunks[(sid, 0)]
         xor[slot.phys_offset : slot.phys_end] ^= delta
         self._set_checksum(sid, seq, chunk.buffer)
         self._set_checksum(sid, cfg.k, xor)
-        latency += self.net.parallel_puts([cfg.value_size, cfg.chunk_size])
+        writes_s = self.net.parallel_puts(
+            [cfg.value_size, cfg.chunk_size], node_ids=[node_id, xor_node]
+        )
+        span.child("ship_delta", writes_s, fanout=2)
+        latency += writes_s
 
         entry = self._pending_deltas.get((sid, seq))
+        flush_s = 0.0
         if entry is None:
             if len(self._pending_deltas) >= self.pending_capacity:
-                latency += self._flush_all()
+                flush_s += self._flush_all()
             buf = np.zeros(chunk.physical_size, dtype=np.uint8)
             entry = [buf, slot.phys_offset, 0]
             self._pending_deltas[(sid, seq)] = entry
@@ -100,8 +114,12 @@ class AdaptiveLogECMem(LogECMem):
         self.coalesced_updates += 1
         self.counters.add("coalesced_updates")
         if entry[2] >= self.coalesce_updates:
-            latency += self._flush_entry(sid, seq)
+            flush_s += self._flush_entry(sid, seq)
+        if flush_s > 0:
+            span.child("log_ack", flush_s)
+        latency += flush_s
         self.versions[key] = new_version
+        self.tracer.finish(span, latency)
         return OpResult(latency_s=latency)
 
     # ------------------------------------------------------------------- flush
@@ -120,11 +138,23 @@ class AdaptiveLogECMem(LogECMem):
         payload = buf[lo:hi]
         logical = max(1, round(payload.size / cfg.payload_scale))
         rec = self.stripe_index.get(sid)
-        log_parity_nodes = rec.chunk_nodes[cfg.k + 1 :]
-        latency = self.net.parallel_puts([logical] * len(log_parity_nodes))
+        # only reachable, alive log nodes can take the merged delta; the
+        # others go stale and are flagged for recovery (same contract as the
+        # per-update broadcast in LogECMem._update_impl)
+        deliverable: list[tuple[int, str]] = []
+        for j, nid in enumerate(rec.chunk_nodes[cfg.k + 1 :], start=1):
+            log_node = self.cluster.log_nodes[nid]
+            if not log_node.alive or not self.net.reachable(nid):
+                log_node.needs_recovery = True
+                self.counters.add("parity_deltas_skipped")
+                continue
+            deliverable.append((j, nid))
+        latency = self.net.parallel_puts(
+            [logical] * len(deliverable), node_ids=[nid for _, nid in deliverable]
+        )
         now = self.cluster.clock.now
         stall = 0.0
-        for j, nid in enumerate(log_parity_nodes, start=1):
+        for j, nid in deliverable:
             coeff = self.code.coefficient(j, seq)
             pd = ParityDelta(
                 stripe_id=sid,

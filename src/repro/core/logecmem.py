@@ -57,8 +57,10 @@ class LogECMem(StripedStoreBase):
                 f"stripe {stripe_id}: no DRAM node free for the XOR parity"
             )
         xor_node = candidates[stripe_id % len(candidates)]
-        # logged parities rotate over the alive log nodes for even load
-        log_ids = self.cluster.alive_log_ids()
+        # logged parities rotate over the alive, reachable log nodes
+        log_ids = [
+            nid for nid in self.cluster.alive_log_ids() if self.net.reachable(nid)
+        ]
         if not log_ids:
             raise StoreUnavailableError(
                 f"stripe {stripe_id}: no alive log node for parities"
@@ -115,39 +117,48 @@ class LogECMem(StripedStoreBase):
             if tombstone
             else self._new_value(key, new_version)
         )
+        span = self.tracer.start("update", key=key)
         latency = self.net.client_hop(64 + cfg.value_size)
+        span.child("client_hop", latency)
         if sid is None:
             # stripe not sealed yet: plain in-place object overwrite
             chunk.write_slot(slot, new_value)
             self.versions[key] = new_version
-            latency += self.net.sequential_gets([cfg.value_size])
-            latency += self.net.parallel_puts([cfg.value_size])
+            get_s = self.net.sequential_gets([cfg.value_size], node_ids=[node_id])
+            span.child("read_old", get_s, node=node_id)
+            put_s = self.net.parallel_puts([cfg.value_size], node_ids=[node_id])
+            span.child("put_object", put_s, node=node_id)
+            latency += get_s + put_s
+            self.tracer.finish(span, latency)
             return OpResult(latency_s=latency)
 
         client_s = latency
+        rec = self.stripe_index.get(sid)
+        xor_node = rec.chunk_nodes[cfg.k]
 
         # (1)-(2): metadata lookup, then read old object + XOR parity chunk
         old = chunk.read_slot(slot).copy()
-        reads_s = self.net.sequential_gets([cfg.value_size, cfg.chunk_size])
+        reads_s = self.net.sequential_gets(
+            [cfg.value_size, cfg.chunk_size], node_ids=[node_id, xor_node]
+        )
+        span.child("read_old_xor", reads_s, node=node_id, xor_node=xor_node)
         self.counters.add("parity_chunk_reads")
 
         # (3): delta, in-place data + XOR parity update
         delta = old ^ new_value
         compute_s = cfg.profile.encode_s(2 * cfg.value_size)
+        span.child("encode_delta", compute_s)
         chunk.write_slot(slot, new_value)
         xor = self.parity_chunks[(sid, 0)]
         xor[slot.phys_offset : slot.phys_end] ^= delta
         self._set_checksum(sid, seq, chunk.buffer)
         self._set_checksum(sid, cfg.k, xor)
 
-        # (3)-(5): fan out new object + new XOR parity + data delta broadcast
-        rec = self.stripe_index.get(sid)
+        # (3)-(5): fan out new object + new XOR parity + data delta broadcast;
+        # only reachable, alive log nodes receive their delta -- the others
+        # are flagged for recovery and cost nothing on the write path
         log_parity_nodes = rec.chunk_nodes[cfg.k + 1 :]
-        writes_s = self.net.parallel_puts(
-            [cfg.value_size, cfg.chunk_size] + [cfg.value_size] * len(log_parity_nodes)
-        )
-        stall_s = 0.0
-        now = self.cluster.clock.now
+        deliverable: list[tuple[int, str]] = []
         for j, nid in enumerate(log_parity_nodes, start=1):
             log_node = self.cluster.log_nodes[nid]
             if not log_node.alive or not self.net.reachable(nid):
@@ -157,6 +168,15 @@ class LogECMem(StripedStoreBase):
                 log_node.needs_recovery = True
                 self.counters.add("parity_deltas_skipped")
                 continue
+            deliverable.append((j, nid))
+        writes_s = self.net.parallel_puts(
+            [cfg.value_size, cfg.chunk_size] + [cfg.value_size] * len(deliverable),
+            node_ids=[node_id, xor_node] + [nid for _, nid in deliverable],
+        )
+        span.child("ship_delta", writes_s, fanout=2 + len(deliverable))
+        stall_s = 0.0
+        now = self.cluster.clock.now
+        for j, nid in deliverable:
             coeff = self.code.coefficient(j, seq)
             pd = ParityDelta(
                 stripe_id=sid,
@@ -167,11 +187,15 @@ class LogECMem(StripedStoreBase):
             )
             stall_s = max(
                 stall_s,
-                log_node.append(LogRecord.for_delta(pd, cfg.value_size), now),
+                self.cluster.log_nodes[nid].append(
+                    LogRecord.for_delta(pd, cfg.value_size), now
+                ),
             )
             self.counters.add("parity_deltas_sent")
+        span.child("log_ack", stall_s)
         self.versions[key] = new_version
         latency = client_s + reads_s + compute_s + writes_s + stall_s
+        self.tracer.finish(span, latency)
         return OpResult(
             latency_s=latency,
             info={

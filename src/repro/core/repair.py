@@ -83,6 +83,7 @@ def repair_node(
     cluster.settle_logs()
 
     p = cfg.profile
+    net = cluster.network
     chunk = cfg.chunk_size
     # one synchronous chunk GET on the repair path (same cost model as
     # NetworkModel.sequential_gets, without polluting run counters); the
@@ -93,7 +94,9 @@ def repair_node(
     decode_s = p.encode_s(cfg.k * chunk)
 
     stripes = store.stripe_index.stripes_on_node(node_id)
-    serial_s = 0.0
+    span = store.tracer.start("repair", node=node_id, log_assist=log_assist)
+    fetch_serial_s = 0.0
+    decode_serial_s = 0.0
     chunks = 0
     assisted = 0
     dram_fetches = 0
@@ -112,22 +115,33 @@ def repair_node(
             if (log_node := cluster.log_nodes.get(rec.chunk_nodes[cfg.k + j]))
             is not None
             and log_node.alive
-            and cluster.network.reachable(rec.chunk_nodes[cfg.k + j])
+            and net.reachable(rec.chunk_nodes[cfg.k + j])
             and not log_node.needs_recovery
         ]
         for gi in lost:
-            dram_survivors = sum(
-                1
+            # a survivor must be alive AND reachable -- a partitioned node
+            # cannot serve repair GETs any more than client reads
+            survivor_ids = [
+                rec.chunk_nodes[i]
                 for i in range(cfg.k + 1)
                 if i != gi
                 and rec.chunk_nodes[i] in cluster.dram_nodes
                 and cluster.dram_nodes[rec.chunk_nodes[i]].alive
-            )
-            if dram_survivors + len(alive_logged) < cfg.k:
+                and net.reachable(rec.chunk_nodes[i])
+            ]
+            if len(survivor_ids) + len(alive_logged) < cfg.k:
                 raise DataLossError(
                     f"stripe {sid}: cannot gather k={cfg.k} chunks to repair {gi}"
                 )
-            use_assist = log_assist and alive_logged and dram_survivors >= cfg.k - 1
+            # fetch from the fastest survivors first (deterministic: sorted
+            # by slowdown factor, node id breaking ties); slowed nodes
+            # stretch their GETs like any other exchange
+            factors = sorted(
+                (net.node_slowdown(nid), nid) for nid in survivor_ids
+            )
+            use_assist = (
+                log_assist and alive_logged and len(survivor_ids) >= cfg.k - 1
+            )
             if use_assist:
                 j = alive_logged[0]
                 nid = rec.chunk_nodes[cfg.k + j]
@@ -140,17 +154,25 @@ def repair_node(
                     p.disk_io_overhead_s + region_bytes / p.disk_seq_bandwidth_Bps
                 )
                 # parity transfer overlaps the k-1 serial DRAM GETs
-                parity_s = p.rtt_s + p.transfer_s(64 + chunk) + p.node_service_s
-                serial_s += max((cfg.k - 1) * get_s, parity_s) + decode_s
+                parity_s = (
+                    p.rtt_s + p.transfer_s(64 + chunk) + p.node_service_s
+                ) * net.node_slowdown(nid)
+                gets = sum(f for f, _ in factors[: cfg.k - 1]) * get_s
+                fetch_serial_s += max(gets, parity_s)
                 assisted += 1
                 dram_fetches += cfg.k - 1
                 log_fetches += 1
             else:
-                serial_s += cfg.k * get_s + decode_s
+                fs = [f for f, _ in factors[: cfg.k]]
+                fs += [1.0] * (cfg.k - len(fs))  # remainder from log nodes
+                fetch_serial_s += sum(fs) * get_s
                 dram_fetches += cfg.k
+            decode_serial_s += decode_s
             chunks += 1
 
-    repair_time = serial_s / streams
+    repair_time = (fetch_serial_s + decode_serial_s) / streams
+    span.child("fetch_chunks", fetch_serial_s / streams, chunks=chunks)
+    span.child("decode", decode_serial_s / streams)
     store.counters.add("node_repairs")
     store.counters.add("node_repair_chunks", chunks)
     result = NodeRepairResult(
@@ -164,5 +186,6 @@ def repair_node(
         log_parity_fetches=log_fetches,
         log_prepair_s=prepair_s,
     )
+    store.tracer.finish(span, repair_time)
     cluster.clock.advance_to(now + repair_time)
     return result

@@ -31,6 +31,7 @@ from repro.ec.rs import RSCode
 from repro.kvstore.chunk import Chunk, ChunkSlot, make_value
 from repro.kvstore.object_index import ObjectIndex, ObjectLocation
 from repro.kvstore.stripe_index import StripeIndex, StripeRecord
+from repro.obs import init_observability
 
 
 class ChunkUnavailableError(StoreUnavailableError):
@@ -77,6 +78,7 @@ class StripedStoreBase(KVStore):
         # objects written but whose stripe has not sealed yet
         self._pending: dict[str, tuple[str, Chunk, ChunkSlot]] = {}
         self._pending_unit_keys: dict[int, list[str]] = {}
+        init_observability(self)
 
     # ------------------------------------------------------------- layout hooks
 
@@ -89,7 +91,7 @@ class StripedStoreBase(KVStore):
         candidates = [
             nid
             for nid in self.cluster.alive_dram_ids()
-            if nid not in data_nodes
+            if nid not in data_nodes and self.net.reachable(nid)
         ]
         if len(candidates) < self.cfg.r:
             raise StoreUnavailableError(
@@ -129,14 +131,24 @@ class StripedStoreBase(KVStore):
         self.deleted.discard(key)
         node_id = self._select_queue(key)
         p = self.cfg.profile
-        latency = self.net.client_hop(64 + self.cfg.value_size)
+        span = self.tracer.start("write", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        latency = client_s
         latency += self._enqueue(key, node_id, value)
         # the object itself is stored on its DRAM node right away
         self.cluster.dram_nodes[node_id].table.set(key, self.cfg.value_size)
-        latency += self.net.parallel_puts([self.cfg.value_size])
-        latency += p.memcpy_s(self.cfg.value_size)
-        latency += self._maybe_seal()
+        put_s = self.net.parallel_puts([self.cfg.value_size], node_ids=[node_id])
+        span.child("put_object", put_s, node=node_id)
+        memcpy_s = p.memcpy_s(self.cfg.value_size)
+        span.child("memcpy", memcpy_s)
+        latency += put_s + memcpy_s
+        seal_s = self._maybe_seal()
+        if seal_s > 0:
+            span.child("seal_stripe", seal_s)
+        latency += seal_s
         self.counters.add("op_write")
+        self.tracer.finish(span, latency)
         return OpResult(latency_s=latency)
 
     def _select_queue(self, key: str) -> str:
@@ -250,7 +262,9 @@ class StripedStoreBase(KVStore):
         # encode cost + parity distribution are the sealing write's burden
         latency = cfg.profile.encode_s(cfg.k * cfg.chunk_size)
         latency += self._store_parities(sid, parity_nodes, parities)
-        latency += self.net.parallel_puts([cfg.chunk_size] * cfg.r)
+        latency += self.net.parallel_puts(
+            [cfg.chunk_size] * cfg.r, node_ids=parity_nodes
+        )
         for i in range(cfg.k):
             self._set_checksum(sid, i, units[i].buffer)
         for j in range(cfg.r):
@@ -310,12 +324,16 @@ class StripedStoreBase(KVStore):
             result.degraded = True
             result.info.setdefault("degraded_reason", reason)
             return result
-        latency = self.net.client_hop(64 + self.cfg.value_size)
-        # a tolerably-slow node inflates the GET but not the client hop
-        latency += self.net.sequential_gets([self.cfg.value_size]) * (
-            self.net.node_slowdown(node_id)
-        )
+        span = self.tracer.start("read", key=key)
+        client_s = self.net.client_hop(64 + self.cfg.value_size)
+        span.child("client_hop", client_s)
+        # a tolerably-slow node inflates the GET but not the client hop;
+        # sequential_gets applies the node's slowdown itself now
+        get_s = self.net.sequential_gets([self.cfg.value_size], node_ids=[node_id])
+        span.child("fetch_object", get_s, node=node_id)
+        latency = client_s + get_s
         self.counters.add("op_read")
+        self.tracer.finish(span, latency)
         return OpResult(latency_s=latency, value=chunk.read_slot(slot).copy())
 
     # ------------------------------------------------------------- degraded path
@@ -358,18 +376,26 @@ class StripedStoreBase(KVStore):
         path to logged parities when the stripe has multiple failures."""
         sid, seq, node_id, chunk, slot = self._locate(key)
         cfg = self.cfg
+        span = self.tracer.start("degraded_read", key=key)
         if sid is None:
             # Object still in an unsealed encoding unit: those buffers are
             # replicated with the proxy's hot backups (§3.2), so the read is
             # served from the proxy, not decoded.
-            latency = self.net.client_hop(64 + cfg.value_size)
-            latency += self.net.rpc(64, cfg.value_size)
+            client_s = self.net.client_hop(64 + cfg.value_size)
+            span.child("client_hop", client_s)
+            proxy_s = self.net.rpc(64, cfg.value_size)
+            span.child("fetch_proxy_buffer", proxy_s)
             self.counters.add("op_degraded_read")
+            self.tracer.finish(span, client_s + proxy_s)
             return OpResult(
-                latency_s=latency, value=chunk.read_slot(slot).copy(), degraded=True
+                latency_s=client_s + proxy_s,
+                value=chunk.read_slot(slot).copy(),
+                degraded=True,
             )
         latency = self.net.client_hop(64 + cfg.value_size)
+        span.child("client_hop", latency)
         exclude = {seq}  # the requested chunk counts as unavailable
+        rec = self.stripe_index.get(sid)
         available = self._available_dram_chunks(sid, exclude)
         k, n = cfg.k, cfg.k + cfg.r
         self.counters.add("op_degraded_read")
@@ -383,13 +409,24 @@ class StripedStoreBase(KVStore):
             ]
             for gi in prefer[:k]:
                 fetch[gi] = available[gi]
-            latency += self.net.sequential_gets([cfg.chunk_size] * k)
+            survivors_s = self.net.sequential_gets(
+                [cfg.chunk_size] * k,
+                node_ids=[rec.chunk_nodes[gi] for gi in prefer[:k]],
+            )
+            span.child("fetch_survivors", survivors_s, chunks=k)
+            latency += survivors_s
         else:
             fetch.update(available)
-            latency += self.net.sequential_gets([cfg.chunk_size] * len(available))
+            survivors_s = self.net.sequential_gets(
+                [cfg.chunk_size] * len(available),
+                node_ids=[rec.chunk_nodes[gi] for gi in available],
+            )
+            span.child("fetch_survivors", survivors_s, chunks=len(available))
+            latency += survivors_s
             log_latency, logged = self._fetch_logged_parities(
                 sid, k - len(available), exclude
             )
+            span.child("fetch_logged_parity", log_latency, chunks=len(logged))
             latency += log_latency
             fetch.update(logged)
             if len(fetch) < k:
@@ -397,12 +434,15 @@ class StripedStoreBase(KVStore):
                     f"stripe {sid}: only {len(fetch)} of required {k} chunks available"
                 )
             self.counters.add("multi_failure_repairs")
-        latency += cfg.profile.encode_s(k * cfg.chunk_size)  # decode work
+        decode_s = cfg.profile.encode_s(k * cfg.chunk_size)  # decode work
+        span.child("decode", decode_s)
+        latency += decode_s
         if set(range(k)) - {seq} <= set(fetch) and k in fetch:
             rebuilt = self.code.repair_with_xor(seq, fetch)
         else:
             rebuilt = self.code.decode(fetch, wanted=[seq])[seq]
         value = rebuilt[slot.phys_offset : slot.phys_end].copy()
+        self.tracer.finish(span, latency)
         return OpResult(latency_s=latency, value=value, degraded=True)
 
     # -------------------------------------------------------------------- delete

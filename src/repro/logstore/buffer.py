@@ -27,8 +27,10 @@ class LogBuffer:
         self.capacity_bytes = int(capacity_bytes)
         self.flush_threshold_bytes = int(flush_threshold_bytes)
         self.merge = merge
+        # dict insertion order IS the arrival order (merging a record updates
+        # the value in place without reordering, matching FIFO semantics),
+        # which makes drop() O(1) -- no side list to linearly scan.
         self._records: dict[tuple[int, int], LogRecord] = {}
-        self._order: list[tuple[int, int]] = []
         self._unmerged: list[LogRecord] = []  # used when merge=False
         self.logical_bytes = 0
         self.merges = 0
@@ -52,7 +54,6 @@ class LogBuffer:
         existing = self._records.get(key)
         if existing is None:
             self._records[key] = record
-            self._order.append(key)
             self.logical_bytes += record.logical_nbytes
         else:
             merged = merge_records([existing, record])
@@ -70,7 +71,7 @@ class LogBuffer:
         """Buffered records in arrival order, without draining."""
         if not self.merge:
             return list(self._unmerged)
-        return [self._records[k] for k in self._order]
+        return list(self._records.values())
 
     def records_for(self, stripe_id: int, parity_index: int) -> list[LogRecord]:
         """Buffered records for one (stripe, parity) pair (for repairs)."""
@@ -89,7 +90,6 @@ class LogBuffer:
         if self.merge:
             rec = self._records.pop((stripe_id, parity_index), None)
             if rec is not None:
-                self._order.remove((stripe_id, parity_index))
                 self.logical_bytes -= rec.logical_nbytes
                 dropped = 1
         else:
@@ -107,7 +107,6 @@ class LogBuffer:
         """Remove and return everything buffered, in arrival order."""
         out = self.peek()
         self._records.clear()
-        self._order.clear()
         self._unmerged.clear()
         self.logical_bytes = 0
         return out

@@ -1,0 +1,28 @@
+"""Observability: span tracing + metrics over the simulated clock.
+
+``init_observability(store)`` is the one-call wiring every store performs in
+its constructor: it attaches a :class:`Tracer` bound to the cluster clock and
+a :class:`MetricsRegistry` wrapping the cluster's counter bag, and registers
+the registry as a span sink -- so every finished op span lands in the per-op
+latency histograms automatically.
+"""
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.span import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "init_observability",
+]
+
+
+def init_observability(store, keep_last: int = 256) -> None:
+    """Attach ``store.tracer`` and ``store.metrics`` to a store that owns a
+    cluster (clock + counters)."""
+    store.tracer = Tracer(store.cluster.clock, keep_last=keep_last)
+    store.metrics = MetricsRegistry(store.cluster.counters, store=store.name)
+    store.tracer.add_sink(store.metrics.observe_span)

@@ -1,0 +1,174 @@
+"""Metrics: counters + deterministic streaming latency histograms.
+
+:class:`LatencyHistogram` is a fixed-layout log-binned histogram (no
+allocation growth, O(1) observe, deterministic quantiles -- same inputs,
+same bins, same p50/p90/p99 on every run and platform).  Exact count, sum,
+min and max are kept alongside, so means are exact and quantiles are only
+bin-resolution approximations (1/32 of a decade, ~7.5% worst-case relative
+error -- far below the cross-store effects the benchmarks compare).
+
+:class:`MetricsRegistry` subsumes :class:`repro.sim.resources.Counters`: it
+wraps the cluster's counter bag (same object, so the existing accounting
+keeps flowing through) and adds per-(store, op) latency histograms plus
+per-phase time accumulators fed from finished spans.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.span import Span
+from repro.sim.resources import Counters
+
+#: histogram layout: 32 bins per decade from 100 ns to 1000 s
+_LO_S = 1e-7
+_BINS_PER_DECADE = 32
+_DECADES = 10
+_NBINS = _BINS_PER_DECADE * _DECADES
+
+
+class LatencyHistogram:
+    """Log-binned streaming histogram of seconds with deterministic quantiles."""
+
+    __slots__ = ("bins", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.bins = [0] * (_NBINS + 2)  # + underflow [0] and overflow [-1]
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    @staticmethod
+    def _index(seconds: float) -> int:
+        if seconds < _LO_S:
+            return 0
+        i = int(math.log10(seconds / _LO_S) * _BINS_PER_DECADE) + 1
+        return min(i, _NBINS + 1)
+
+    @staticmethod
+    def _bin_upper_s(index: int) -> float:
+        """Upper edge of a bin -- the quantile estimate (conservative)."""
+        if index <= 0:
+            return _LO_S
+        return _LO_S * 10.0 ** (index / _BINS_PER_DECADE)
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative latency {seconds}")
+        self.bins[self._index(seconds)] += 1
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def quantile(self, q: float) -> float:
+        """The smallest bin edge covering fraction ``q`` of observations,
+        clamped to the exact [min, max] envelope."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, n in enumerate(self.bins):
+            seen += n
+            if seen >= rank:
+                if i > _NBINS:  # overflow bin has no finite upper edge
+                    return self.max_s
+                return min(max(self._bin_upper_s(i), self.min_s), self.max_s)
+        return self.max_s  # pragma: no cover - rank <= count always hits
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Deterministic stats dict (microseconds, rounded for stable JSON)."""
+        if self.count == 0:
+            return {"count": 0}
+        us = 1e6
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_s * us, 3),
+            "min_us": round(self.min_s * us, 3),
+            "max_us": round(self.max_s * us, 3),
+            "p50_us": round(self.quantile(0.50) * us, 3),
+            "p90_us": round(self.quantile(0.90) * us, 3),
+            "p99_us": round(self.quantile(0.99) * us, 3),
+        }
+
+
+class MetricsRegistry:
+    """Counters + per-op latency histograms + per-phase time, for one store.
+
+    Wraps (not copies) a :class:`Counters` bag: counter mutations made
+    anywhere in the cluster remain visible here, and ``add``/``get``/
+    ``as_dict`` delegate, so the registry can stand in wherever a plain
+    ``Counters`` was used.
+    """
+
+    def __init__(self, counters: Counters | None = None, store: str = ""):
+        self.counters = counters if counters is not None else Counters()
+        self.store = store
+        self.op_latency: dict[str, LatencyHistogram] = {}
+        self.phase_s: dict[tuple[str, str], float] = {}
+        self.phase_n: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------ Counters facade
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counters.add(name, amount)
+
+    def get(self, name: str) -> float:
+        return self.counters.get(name)
+
+    def __getitem__(self, name: str) -> float:
+        return self.counters.get(name)
+
+    def as_dict(self) -> dict[str, float]:
+        return self.counters.as_dict()
+
+    # ------------------------------------------------------------ ingestion
+
+    def observe(self, op: str, seconds: float) -> None:
+        hist = self.op_latency.get(op)
+        if hist is None:
+            hist = self.op_latency[op] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def observe_span(self, span: Span) -> None:
+        """Tracer sink: fold one finished root span into the aggregates.
+
+        Only direct children count as phases; deeper nesting is the span
+        tree's business (the breakdown mirrors ``OpResult.info['breakdown']``).
+        """
+        self.observe(span.name, span.duration_s)
+        for name, seconds in span.phase_seconds().items():
+            key = (span.name, name)
+            self.phase_s[key] = self.phase_s.get(key, 0.0) + seconds
+            self.phase_n[key] = self.phase_n.get(key, 0) + 1
+
+    # ------------------------------------------------------------ reporting
+
+    def phase_breakdown(self, op: str) -> dict[str, float]:
+        """Mean seconds per phase for one op type."""
+        return {
+            phase: self.phase_s[(o, phase)] / self.phase_n[(o, phase)]
+            for (o, phase) in sorted(self.phase_s)
+            if o == op
+        }
+
+    def snapshot(self) -> dict:
+        """Deterministic dict: op quantiles, phase means (us), counters."""
+        ops = {op: h.summary() for op, h in sorted(self.op_latency.items())}
+        phases: dict[str, dict[str, float]] = {}
+        for (op, phase), total in sorted(self.phase_s.items()):
+            phases.setdefault(op, {})[phase] = round(
+                total / self.phase_n[(op, phase)] * 1e6, 3
+            )
+        return {
+            "ops": ops,
+            "phases": phases,
+            "counters": {k: round(v, 6) for k, v in sorted(self.as_dict().items())},
+        }

@@ -109,30 +109,62 @@ class NetworkModel:
 
     # -- proxy access patterns ----------------------------------------------
 
-    def sequential_gets(self, sizes: list[int]) -> float:
+    def _check_targets(self, sizes: list[int], node_ids: list[str] | None) -> float:
+        """Validate per-exchange targets; returns the critical-path slowdown.
+
+        ``node_ids`` (when given) names the destination of each exchange in
+        ``sizes``.  A partitioned link fails the whole batch -- the proxy
+        cannot complete the exchange -- and the slowest named node bounds the
+        batch's critical path (for serial GETs the per-node factor is applied
+        per exchange by the caller instead).
+        """
+        if node_ids is None:
+            return 1.0
+        if len(node_ids) != len(sizes):
+            raise ValueError(
+                f"node_ids ({len(node_ids)}) must match sizes ({len(sizes)})"
+            )
+        for nid in node_ids:
+            if self.link_down(nid):
+                raise LinkDownError(f"link to {nid} is partitioned")
+        return max((self.node_slowdown(nid) for nid in node_ids), default=1.0)
+
+    def sequential_gets(
+        self, sizes: list[int], node_ids: list[str] | None = None
+    ) -> float:
         """Synchronous GETs issued one after another (libmemcached pattern).
 
         Each read pays a full round trip, the response wire time, the proxy's
-        per-RPC overhead, and the remote node's service time.
+        per-RPC overhead, and the remote node's service time.  With
+        ``node_ids`` each GET honours its target's degradation state: a
+        slowed node stretches its own round trip, a partitioned link raises
+        :class:`LinkDownError`.
         """
         p = self.profile
+        self._check_targets(sizes, node_ids)
         total = 0.0
-        for nbytes in sizes:
-            total += self.rpc(64, nbytes) + p.node_service_s
+        for i, nbytes in enumerate(sizes):
+            factor = 1.0 if node_ids is None else self.node_slowdown(node_ids[i])
+            total += (self.rpc(64, nbytes) + p.node_service_s) * factor
         self.counters.add("chunk_reads", len(sizes))
         return total
 
-    def parallel_puts(self, sizes: list[int]) -> float:
+    def parallel_puts(
+        self, sizes: list[int], node_ids: list[str] | None = None
+    ) -> float:
         """Fan-out writes sharing one round trip.
 
         The proxy NIC serialises all outgoing payloads; remote service times
         overlap, so one node-service term remains on the critical path.  One
         per-RPC dispatch overhead is paid per destination (the proxy still
-        serialises sends into the kernel).
+        serialises sends into the kernel).  With ``node_ids`` the slowest
+        destination bounds the shared round trip (the fan-out completes when
+        the last ACK arrives) and a partitioned destination fails the batch.
         """
         if not sizes:
             return 0.0
         p = self.profile
+        factor = self._check_targets(sizes, node_ids)
         payload = sum(sizes)
         self.counters.add("net_rpcs", len(sizes))
         self.counters.add("net_messages", 2 * len(sizes))
@@ -143,17 +175,21 @@ class NetworkModel:
             + p.transfer_s(payload)
             + p.rpc_overhead_s * len(sizes)
             + p.node_service_s
-        )
+        ) * factor
 
-    def parallel_gets(self, sizes: list[int]) -> float:
+    def parallel_gets(
+        self, sizes: list[int], node_ids: list[str] | None = None
+    ) -> float:
         """Fan-out reads sharing one round trip (used by node repair, which
         batch-fetches whole stripes rather than issuing per-object GETs).
 
-        The *incoming* NIC serialises the response payloads.
+        The *incoming* NIC serialises the response payloads.  Degradation
+        state is honoured as in :meth:`parallel_puts`.
         """
         if not sizes:
             return 0.0
         p = self.profile
+        factor = self._check_targets(sizes, node_ids)
         payload = sum(sizes)
         self.counters.add("net_rpcs", len(sizes))
         self.counters.add("net_messages", 2 * len(sizes))
@@ -164,11 +200,17 @@ class NetworkModel:
             + p.transfer_s(payload)
             + p.rpc_overhead_s * len(sizes)
             + p.node_service_s
-        )
+        ) * factor
 
     def client_hop(self, nbytes: int) -> float:
-        """Client <-> proxy round trip carrying ``nbytes`` total."""
+        """Client <-> proxy round trip carrying ``nbytes`` total.
+
+        Pays the same per-RPC dispatch overhead (and counts toward
+        ``net_rpcs``) as every other round trip -- the proxy parses and
+        serialises the client's request like any other.
+        """
         p = self.profile
+        self.counters.add("net_rpcs")
         self.counters.add("net_messages", 2)
         self.counters.add("net_bytes", nbytes)
-        return self._jitter(p.rtt_s + p.transfer_s(nbytes))
+        return self._jitter(p.rtt_s + p.transfer_s(nbytes) + p.rpc_overhead_s)

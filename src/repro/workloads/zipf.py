@@ -51,7 +51,24 @@ class ZipfianGenerator:
         self.zetan = zeta(n, theta)
         self.zeta2 = zeta(2, theta)
         self.alpha = 1.0 / (1.0 - theta)
-        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta2 / self.zetan)
+        self.eta = self._eta()
+
+    def _eta(self) -> float:
+        return (1 - (2.0 / self.n) ** (1 - self.theta)) / (1 - self.zeta2 / self.zetan)
+
+    def grow(self, count: int = 1) -> None:
+        """Extend the population by ``count`` items (YCSB-style incremental
+        zeta): add the new terms to ``zetan`` and recompute ``eta`` so the
+        distribution tracks the enlarged item set instead of staying frozen
+        at the initial population."""
+        if count <= 0:
+            return
+        new_n = self.n + count
+        self.zetan += float(
+            np.sum(1.0 / np.arange(self.n + 1, new_n + 1, dtype=np.float64) ** self.theta)
+        )
+        self.n = new_n
+        self.eta = self._eta()
 
     def next(self) -> int:
         u = self._rng.random()
@@ -138,8 +155,13 @@ class LatestGenerator:
         self._zipf = ZipfianGenerator(n, theta=theta, seed=seed)
 
     def grow(self, count: int = 1) -> None:
-        """The population grew by ``count`` items (newest id = n - 1)."""
+        """The population grew by ``count`` items (newest id = n - 1).
+
+        The underlying age distribution grows with it -- otherwise zetan/eta
+        would stay frozen at the initial population and the recency skew
+        would drift from YCSB's semantics as inserts accumulate."""
         self.n += count
+        self._zipf.grow(count)
 
     def next(self) -> int:
         age = self._zipf.next()
