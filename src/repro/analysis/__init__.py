@@ -4,6 +4,8 @@
   chunks per stripe) and Table 1 (memory overhead of in-place vs full-stripe).
 * :mod:`repro.analysis.tradeoff` -- Figure 16 points and Table 3 rankings.
 * :mod:`repro.analysis.report` -- paper-style plain-text tables.
+* :mod:`repro.analysis.timeline` -- fault windows + latency attribution from
+  the flight-recorder journal.
 """
 
 from repro.analysis.observations import (
@@ -11,11 +13,21 @@ from repro.analysis.observations import (
     observation2_table,
     stripe_update_histogram,
 )
+from repro.analysis.timeline import (
+    FaultWindow,
+    attribute_latency,
+    event_timeline,
+    fault_windows,
+)
 from repro.analysis.tradeoff import TradeoffPoint, table3, tradeoff_points
 from repro.analysis.report import format_table, fmt_scientific, gib
 
 __all__ = [
+    "FaultWindow",
     "TradeoffPoint",
+    "attribute_latency",
+    "event_timeline",
+    "fault_windows",
     "fmt_scientific",
     "format_table",
     "gib",

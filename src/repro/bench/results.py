@@ -27,8 +27,62 @@ def from_json(text: str) -> tuple[list[dict], dict]:
     return doc["rows"], doc.get("meta", {})
 
 
+def _encode_cell(value) -> str:
+    """One cell, typed unambiguously.
+
+    CSV carries only strings, so types are a decode-side convention; this
+    encoder makes that convention invertible: ``None`` is the empty cell,
+    booleans are lowercase ``true``/``false``, numbers are their repr -- and
+    any *string* the decoder would mistake for one of those (empty, numeric-
+    looking, a boolean word, or already wrapped) is wrapped in literal double
+    quotes, which the decoder strips.  ``from_csv(to_csv(rows))`` is then the
+    identity on rows of None/bool/int/float/str (the round-trip test)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    ambiguous = (
+        text == ""
+        or text.lower() in ("true", "false")
+        or (text.startswith('"') and text.endswith('"') and len(text) >= 2)
+    )
+    if not ambiguous:
+        try:
+            float(text)
+            ambiguous = True  # a string that looks like a number
+        except ValueError:
+            pass
+    return f'"{text}"' if ambiguous else text
+
+
+def _decode_cell(text: str | None):
+    """Inverse of :func:`_encode_cell`."""
+    if text is None or text == "":
+        return None
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    # "True"/"False" kept for files written before the lowercase convention
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
 def to_csv(rows: list[dict]) -> str:
-    """Serialise rows to CSV with a union-of-keys header."""
+    """Serialise rows to CSV with a union-of-keys header.
+
+    Cells are typed via :func:`_encode_cell` so ``from_csv`` restores the
+    original values: missing keys and ``None`` both read back as ``None``,
+    booleans as booleans, numeric-looking strings as strings."""
     if not rows:
         return ""
     columns: list[str] = []
@@ -40,30 +94,15 @@ def to_csv(rows: list[dict]) -> str:
     writer = csv.DictWriter(buf, fieldnames=columns)
     writer.writeheader()
     for row in rows:
-        writer.writerow(row)
+        writer.writerow({k: _encode_cell(v) for k, v in row.items()})
     return buf.getvalue()
 
 
 def from_csv(text: str) -> list[dict]:
-    """Parse CSV back into rows (numeric fields restored where possible)."""
+    """Parse CSV back into rows with original types restored."""
     rows: list[dict] = []
     for raw in csv.DictReader(io.StringIO(text)):
-        row: dict = {}
-        for key, value in raw.items():
-            if value is None or value == "":
-                row[key] = value
-                continue
-            try:
-                row[key] = int(value)
-            except ValueError:
-                try:
-                    row[key] = float(value)
-                except ValueError:
-                    if value in ("True", "False"):
-                        row[key] = value == "True"
-                    else:
-                        row[key] = value
-        rows.append(row)
+        rows.append({key: _decode_cell(value) for key, value in raw.items()})
     return rows
 
 

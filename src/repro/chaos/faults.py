@@ -23,6 +23,7 @@ class FaultInjector:
     def __init__(self, cluster: Cluster):
         self.cluster = cluster
         self.net = cluster.network
+        self.journal = cluster.journal
         #: (sim time, human-readable description) of every state transition
         self.timeline: list[tuple[float, str]] = []
         self.applied: dict[str, int] = {}
@@ -36,6 +37,13 @@ class FaultInjector:
         nid = event.node_id
         self.cluster.node(nid)  # raises UnknownNodeError early for bad targets
         self.applied[event.kind.value] = self.applied.get(event.kind.value, 0) + 1
+        self.journal.emit(
+            "fault_inject",
+            kind=event.kind.value,
+            node=nid,
+            duration_s=event.duration_s,
+            magnitude=event.magnitude,
+        )
 
         if event.kind is FaultKind.CRASH:
             if self.cluster.kill(nid, now=now):
@@ -85,11 +93,14 @@ class FaultInjector:
     def _restore_node(self, nid: str, when: float) -> None:
         if self.cluster.restore(nid, now=when):
             self.note(when, f"blip {nid} restored")
+            self.journal.emit("fault_heal", kind="blip", node=nid)
 
     def _end_slow(self, nid: str, when: float) -> None:
         self.net.clear_node_slowdown(nid)
         self.note(when, f"slow {nid} ended")
+        self.journal.emit("fault_heal", kind="slow", node=nid)
 
     def _heal_partition(self, nid: str, when: float) -> None:
         self.net.restore_link(nid)
         self.note(when, f"partition {nid} healed")
+        self.journal.emit("fault_heal", kind="partition", node=nid)

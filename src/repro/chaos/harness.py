@@ -23,6 +23,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from repro.analysis.timeline import attribute_latency, fault_windows
 from repro.bench.runner import load_store
 from repro.chaos.faults import FaultInjector
 from repro.chaos.invariants import InvariantReport, check_store
@@ -70,6 +71,11 @@ class ChaosReport:
     #: per-op latency quantiles + phase means, captured BEFORE the invariant
     #: sweep (the checkers reuse real read machinery and perturb counters)
     metrics: dict = field(default_factory=dict)
+    #: flight-recorder journal (dict form), captured at the same point as
+    #: ``metrics`` and for the same reason
+    events: list = field(default_factory=list)
+    #: per-fault-window latency attribution (analysis/timeline.py)
+    fault_attribution: list = field(default_factory=list)
 
     @property
     def violations(self) -> int:
@@ -102,6 +108,8 @@ class ChaosReport:
             "throughput_ops_s": self.throughput_ops_s,
             "mean_response_s": self.mean_response_s,
             "metrics": self.metrics,
+            "events": self.events,
+            "fault_attribution": self.fault_attribution,
         }
 
     def fingerprint(self) -> str:
@@ -223,7 +231,23 @@ class ChaosRun:
             self.injector.note(when, f"{event.kind.value} {event.node_id} (already down)")
             return
         lost = crash_log_node(node)
+        was_stale = node.needs_recovery
         node.needs_recovery = True
+        # this path bypasses FaultInjector.apply, so record its events here
+        self.injector.journal.emit(
+            "fault_inject",
+            kind=event.kind.value,
+            node=event.node_id,
+            duration_s=event.duration_s,
+            magnitude=event.magnitude,
+        )
+        if not was_stale:
+            self.injector.journal.emit(
+                "stale_mark",
+                node=event.node_id,
+                reason="buffer_lost",
+                records_lost=lost,
+            )
         self.injector.note(
             when, f"{event.kind.value} {event.node_id} (buffer lost: {lost} records)"
         )
@@ -375,9 +399,17 @@ class ChaosRun:
             report.throughput_ops_s = cl.throughput_ops_s
             report.mean_response_s = cl.mean_response_s
         # invariants last: the checkers reuse the real read/repair machinery,
-        # which perturbs cost counters -- so the metrics snapshot (per-op
-        # latency quantiles + span-fed phase means) is captured first
+        # which perturbs cost counters and emits its own scrub/read events --
+        # so the metrics snapshot (per-op latency quantiles + span-fed phase
+        # means) AND the journal capture happen first
         report.metrics = store.metrics.snapshot()
+        report.events = store.cluster.journal.to_dicts()
+        samples = [
+            (o.at_s, o.latency_s, o.op) for o in self.outcomes if o.acked
+        ]
+        report.fault_attribution = attribute_latency(
+            fault_windows(report.events), samples
+        )
         invariant_report: InvariantReport = check_store(store)
         report.invariants = invariant_report.to_dict()
         return report

@@ -31,6 +31,7 @@ from repro.core.interface import (
     OpResult,
     StoreUnavailableError,
 )
+from repro.obs.events import NULL_JOURNAL
 from repro.sim.network import LinkDownError
 from repro.workloads.ycsb import Operation, Request
 
@@ -95,6 +96,8 @@ class OpOutcome:
     retries: int = 0
     error: str | None = None
     result: OpResult | None = field(default=None, repr=False)
+    #: simulated time the proxy started the op (for fault-window attribution)
+    at_s: float = 0.0
 
     @property
     def service_s(self) -> float:
@@ -120,6 +123,9 @@ class RobustProxy:
         self.store = store
         self.policy = policy or RetryPolicy()
         self.wait = wait or (lambda dt: None)
+        cluster = getattr(store, "cluster", None)
+        self._clock = None if cluster is None else cluster.clock
+        self.journal = NULL_JOURNAL if cluster is None else cluster.journal
         self.retries = 0
         self.timeouts = 0
         self.degraded_served = 0
@@ -138,6 +144,7 @@ class RobustProxy:
         policy = self.policy
         waited_s = 0.0
         error: Exception | None = None
+        started_s = 0.0 if self._clock is None else self._clock.now
         for attempt in range(policy.max_retries + 1):
             try:
                 res = self._dispatch(req)
@@ -148,6 +155,20 @@ class RobustProxy:
                 backoff = policy.backoff_s(attempt)
                 waited_s += backoff
                 self.retries += 1
+                self.journal.emit(
+                    "retry",
+                    op=req.op.value,
+                    key=req.key,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
+                self.journal.emit(
+                    "backoff",
+                    op=req.op.value,
+                    key=req.key,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                )
                 self.wait(backoff)  # faults may heal while the proxy sleeps
                 continue
             latency = res.latency_s + waited_s
@@ -168,6 +189,7 @@ class RobustProxy:
                 degraded_reason=reason,
                 retries=attempt,
                 result=res,
+                at_s=started_s,
             )
         self.failed_ops += 1
         return OpOutcome(
@@ -178,4 +200,5 @@ class RobustProxy:
             waited_s=waited_s,
             retries=policy.max_retries,
             error=f"{type(error).__name__}: {error}",
+            at_s=started_s,
         )

@@ -150,6 +150,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline", action="store_true",
                    help="also print the full fault/recovery timeline")
     _add_scale(p)
+
+    p = sub.add_parser(
+        "inspect",
+        help="run a workload, then dump node/stripe/log state, the flight-"
+        "recorder journal, and optional exporter output",
+    )
+    p.add_argument("--store", default="logecmem",
+                   choices=["vanilla", "replication", "ipmem", "fsmem", "logecmem"])
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default="50:50", help="read:update ratio")
+    p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
+    p.add_argument("--value-size", type=int, default=4096)
+    p.add_argument("--chaos", action="store_true",
+                   help="run under a seeded fault schedule (enables "
+                   "fault-window attribution)")
+    p.add_argument("--faults", type=_positive_float, default=4.0,
+                   help="expected fault arrivals when --chaos is set")
+    p.add_argument("--tail", type=int, default=20,
+                   help="journal events to print (0 disables)")
+    p.add_argument("--timeline", action="store_true",
+                   help="render the ASCII event timeline")
+    p.add_argument("--stripe", type=int, default=None,
+                   help="dump one stripe's placement in detail")
+    p.add_argument("--prometheus", action="store_true",
+                   help="print the Prometheus text exposition")
+    p.add_argument("--journal-out", default=None,
+                   help="write the full journal as JSONL to this path")
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "compare",
+        help="regression gate: diff two BENCH_*.json profile snapshots",
+    )
+    p.add_argument("baseline", help="committed baseline profile JSON")
+    p.add_argument("candidate", help="freshly generated profile JSON")
+    p.add_argument("--experiments", nargs="+", default=None,
+                   help="restrict to these experiment slices")
+    p.add_argument("--out", default=None,
+                   help="also write the verdict JSON to this path")
     return parser
 
 
@@ -369,6 +408,120 @@ def cmd_chaos(args, out) -> None:
         raise SystemExit(1)
 
 
+def cmd_inspect(args, out) -> None:
+    """State dump after a run: nodes, stripes, journal tail, exporter text."""
+    from repro.analysis.timeline import event_timeline
+    from repro.bench.runner import load_store
+    from repro.obs.export import prometheus_text, write_journal
+
+    k, r = args.code
+    config = StoreConfig(k=k, r=r, value_size=args.value_size, scheme=args.scheme)
+    store = make_store(args.store, config)
+    spec = WorkloadSpec.read_update(
+        args.ratio, n_objects=args.objects, n_requests=args.requests,
+        value_size=args.value_size, seed=args.seed,
+    )
+    attribution: list[dict] = []
+    if args.chaos:
+        from repro.chaos import run_chaos
+
+        report = run_chaos(store, spec, expected_faults=args.faults)
+        attribution = report.fault_attribution
+        out(report.summary())
+    else:
+        load_store(store, spec)
+        run_requests(store, generate_requests(spec), spec, profile=True)
+    cluster = store.cluster
+    journal = cluster.journal
+    now = cluster.clock.now
+
+    rows = []
+    for nid in cluster.dram_ids():
+        node = cluster.dram_nodes[nid]
+        rows.append([
+            nid, "dram", "up" if node.alive else "DOWN",
+            f"{node.logical_bytes} B",
+            f"downtime {cluster.downtime_s(nid) * 1e3:.2f}ms",
+        ])
+    for nid in cluster.log_ids():
+        node = cluster.log_nodes[nid]
+        detail = (
+            f"buffer {len(node.buffer)} rec/{node.buffer.logical_bytes} B, "
+            f"{node.scheme.flushes} flushes"
+        )
+        staging = getattr(node.scheme, "staging_bytes", None)
+        if staging is not None:
+            detail += f", staging {staging} B"
+        if node.needs_recovery:
+            detail += ", STALE"
+        rows.append([
+            nid, f"log/{node.scheme.name}", "up" if node.alive else "DOWN",
+            f"{node.scheme.disk_logical_bytes} B disk", detail,
+        ])
+    out(format_table(["node", "kind", "state", "bytes", "detail"], rows,
+                     title=f"{store.name} cluster @ t={now * 1e3:.3f}ms"))
+
+    index = getattr(store, "stripe_index", None)
+    if index is not None and len(index):
+        sids = list(index.stripe_ids())
+        out(f"stripes: {len(sids)} sealed "
+            f"(ids {min(sids)}..{max(sids)}), k={k} r={r}")
+        if args.stripe is not None:
+            rec = index.get(args.stripe)
+            out(format_table(
+                ["chunk", "node", "keys"],
+                [[i, nid, len(rec.chunk_keys[i]) if i < k else "-"]
+                 for i, nid in enumerate(rec.chunk_nodes)],
+                title=f"stripe {args.stripe} placement",
+            ))
+
+    if args.tail > 0:
+        total = sum(journal.counts.values())
+        out(f"journal: {total} events emitted, {len(journal)} retained, "
+            f"{journal.dropped} dropped (capacity {journal.capacity})")
+        for ev in journal.tail(args.tail):
+            attrs = ", ".join(f"{k2}={v}" for k2, v in sorted(ev.attrs.items()))
+            out(f"  {ev.t_s * 1e3:10.3f} ms  {ev.kind:13s} {attrs}")
+
+    if args.timeline:
+        out(event_timeline(journal.to_dicts()))
+
+    if attribution:
+        out(format_table(
+            ["fault", "node", "window ms", "ops", "mean us", "base us", "shift"],
+            [[row["kind"], row["node"],
+              f"{row['start_s'] * 1e3:.2f}.."
+              + (f"{row['end_s'] * 1e3:.2f}" if row["end_s"] is not None else "inf"),
+              row["ops_in_window"], row["mean_in_us"], row["mean_baseline_us"],
+              f"{row['shift_pct']:+.1f}%"]
+             for row in attribution],
+            title="fault-window latency attribution",
+        ))
+
+    if args.prometheus:
+        out(prometheus_text(store.metrics, journal=journal))
+
+    if args.journal_out:
+        write_journal(journal, args.journal_out)
+        out(f"journal written to {args.journal_out}")
+
+
+def cmd_compare(args, out) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.bench.compare import compare_profiles, render_verdict
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    candidate = json.loads(Path(args.candidate).read_text())
+    verdict = compare_profiles(baseline, candidate, experiments=args.experiments)
+    out(render_verdict(verdict))
+    if args.out:
+        Path(args.out).write_text(json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+    if verdict["status"] != "pass":
+        raise SystemExit(1)
+
+
 def cmd_report(args, out) -> None:
     """The artifact-evaluation flow in one command: every table and figure
     at the chosen scale, each section appended to REPORT.txt and its raw
@@ -422,6 +575,8 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "run": cmd_run,
         "profile": cmd_profile,
         "chaos": cmd_chaos,
+        "inspect": cmd_inspect,
+        "compare": cmd_compare,
     }
     handler = handlers.get(args.command, cmd_experiment)
     handler(args, out)

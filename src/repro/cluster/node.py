@@ -17,8 +17,10 @@ from repro.logstore import make_scheme
 from repro.logstore.base import ParityReadResult
 from repro.logstore.buffer import LogBuffer
 from repro.logstore.records import LogRecord
+from repro.obs.events import NULL_JOURNAL, EventJournal
 from repro.sim.disk import DiskModel
 from repro.sim.params import HardwareProfile
+from repro.sim.resources import Counters
 
 
 class Node:
@@ -97,11 +99,22 @@ class LogNode(Node):
         scheme: str = "plm",
         bytes_scale: float = 1.0,
         merge_buffer: bool = True,
+        journal: EventJournal | None = None,
+        counters: Counters | None = None,
     ):
         super().__init__(node_id)
         self.profile = profile
+        self.journal = journal if journal is not None else NULL_JOURNAL
+        self.counters = counters if counters is not None else Counters()
         self.disk = DiskModel(profile, name=f"{node_id}:disk")
-        self.scheme = make_scheme(scheme, self.disk, bytes_scale=bytes_scale)
+        self.scheme = make_scheme(
+            scheme,
+            self.disk,
+            bytes_scale=bytes_scale,
+            journal=self.journal,
+            counters=self.counters,
+            node_id=node_id,
+        )
         self.buffer = LogBuffer(
             capacity_bytes=profile.log_buffer_bytes,
             flush_threshold_bytes=profile.log_flush_threshold_bytes,
@@ -127,7 +140,17 @@ class LogNode(Node):
         if backlog > self.profile.max_disk_backlog_s:
             self.sync_flush_stalls += 1
             stall = backlog - self.profile.max_disk_backlog_s
+        merges_before = self.buffer.merges
         self.buffer.add(record)
+        self.counters.add("log_buffer_appends")
+        if self.buffer.merges > merges_before:
+            self.counters.add("log_buffer_merges")
+            self.journal.emit(
+                "buffer_merge",
+                node=self.node_id,
+                stripe=record.stripe_id,
+                parity=record.parity_index,
+            )
         if self.buffer.should_flush():
             self._flush(now)  # asynchronous: occupies the disk, not the caller
         return stall
@@ -147,7 +170,16 @@ class LogNode(Node):
     def drop_stripe_parity(self, stripe_id: int, parity_index: int) -> None:
         """Release everything held for one (stripe, parity): buffered records
         and the persisted reserved region (used by stripe GC)."""
-        self.buffer.drop(stripe_id, parity_index)
+        dropped = self.buffer.drop(stripe_id, parity_index)
+        if dropped:
+            self.counters.add("log_buffer_drops", dropped)
+            self.journal.emit(
+                "buffer_drop",
+                node=self.node_id,
+                stripe=stripe_id,
+                parity=parity_index,
+                records=dropped,
+            )
         self.scheme.drop(stripe_id, parity_index)
 
     # -- repair path ----------------------------------------------------------

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.node import DRAMNode, LogNode, Node
+from repro.obs.events import EventJournal
 from repro.sim.clock import SimClock
 from repro.sim.disk import DiskStats
 from repro.sim.network import NetworkModel
@@ -38,6 +39,8 @@ class Cluster:
         self.profile = profile or HardwareProfile()
         self.clock = SimClock()
         self.counters = Counters()
+        #: cluster-wide flight recorder, stamped from this cluster's clock
+        self.journal = EventJournal(self.clock, self.counters)
         self.network = NetworkModel(self.profile, self.counters)
         self.dram_nodes: dict[str, DRAMNode] = {}
         self.log_nodes: dict[str, LogNode] = {}
@@ -52,6 +55,8 @@ class Cluster:
                 scheme=scheme,
                 bytes_scale=bytes_scale,
                 merge_buffer=merge_buffer,
+                journal=self.journal,
+                counters=self.counters,
             )
         self.ring = ConsistentHashRing(sorted(self.dram_nodes))
 

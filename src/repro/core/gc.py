@@ -104,4 +104,12 @@ def collect_garbage(store: LogECMem) -> GCReport:
     report.bytes_reclaimed = max(0, before - store.memory_logical_bytes)
     store.counters.add("gc_passes")
     store.counters.add("gc_stripes_collected", report.stripes_collected)
+    store.cluster.journal.emit(
+        "gc_pass",
+        stripes_collected=report.stripes_collected,
+        objects_rewritten=report.objects_rewritten,
+        tombstones_reclaimed=report.tombstones_reclaimed,
+        bytes_reclaimed=report.bytes_reclaimed,
+        duration_s=report.duration_s,
+    )
     return report

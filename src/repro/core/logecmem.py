@@ -165,7 +165,11 @@ class LogECMem(StripedStoreBase):
                 # the delta cannot be delivered; the node's persisted parity
                 # goes stale and must be rebuilt (recover_log_node) before
                 # any repair reads it -- the chaos harness schedules that
-                log_node.needs_recovery = True
+                if not log_node.needs_recovery:
+                    log_node.needs_recovery = True
+                    self.cluster.journal.emit(
+                        "stale_mark", node=nid, reason="missed_delta", stripe=sid
+                    )
                 self.counters.add("parity_deltas_skipped")
                 continue
             deliverable.append((j, nid))

@@ -82,8 +82,17 @@ def recover_log_node(
             )
             rebuilt += 1
     node.restore(store.cluster.clock.now)
+    was_stale = node.needs_recovery
     node.needs_recovery = False
     store.counters.add("log_node_recoveries")
+    store.cluster.journal.emit(
+        "stale_recover",
+        node=node_id,
+        parities_rebuilt=rebuilt,
+        was_stale=was_stale,
+        duration_s=duration,
+        lost_records=lost_records,
+    )
     return RecoveryReport(
         node_id=node_id,
         parities_rebuilt=rebuilt,

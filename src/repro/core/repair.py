@@ -94,6 +94,13 @@ def repair_node(
     decode_s = p.encode_s(cfg.k * chunk)
 
     stripes = store.stripe_index.stripes_on_node(node_id)
+    cluster.journal.emit(
+        "repair_start",
+        node=node_id,
+        stripes=len(stripes),
+        log_assist=log_assist,
+        streams=streams,
+    )
     span = store.tracer.start("repair", node=node_id, log_assist=log_assist)
     fetch_serial_s = 0.0
     decode_serial_s = 0.0
@@ -188,4 +195,13 @@ def repair_node(
     )
     store.tracer.finish(span, repair_time)
     cluster.clock.advance_to(now + repair_time)
+    # emitted after advance_to so the event's timestamp is the completion time
+    cluster.journal.emit(
+        "repair_done",
+        node=node_id,
+        stripes=result.stripes_repaired,
+        chunks=result.chunks_repaired,
+        log_assisted=result.log_assisted_stripes,
+        repair_time_s=repair_time,
+    )
     return result

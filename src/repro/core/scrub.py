@@ -73,4 +73,11 @@ def scrub(store, include_logged: bool = True) -> ScrubReport:
             report.parities_checked += 1
             if not np.array_equal(stored, expect[j]):
                 report.mismatches.append((sid, j))
+    store.cluster.journal.emit(
+        "scrub_pass",
+        stripes_checked=report.stripes_checked,
+        parities_checked=report.parities_checked,
+        mismatches=len(report.mismatches),
+        skipped_unavailable=report.skipped_unavailable,
+    )
     return report

@@ -35,13 +35,30 @@ SCHEMES = {
 }
 
 
-def make_scheme(name: str, disk, bytes_scale: float = 1.0) -> LogScheme:
-    """Instantiate a log scheme by its paper name (pl, plr, plr-m, plm)."""
+def make_scheme(
+    name: str,
+    disk,
+    bytes_scale: float = 1.0,
+    journal=None,
+    counters=None,
+    node_id: str = "",
+) -> LogScheme:
+    """Instantiate a log scheme by its paper name (pl, plr, plr-m, plm).
+
+    ``journal``/``counters``/``node_id`` wire the scheme into the cluster's
+    flight recorder and shared counter bag; omitted (stand-alone use) the
+    scheme gets a no-op journal and a private bag."""
     try:
         cls = SCHEMES[name.lower()]
     except KeyError:
         raise ValueError(f"unknown log scheme {name!r}; choose from {sorted(SCHEMES)}")
-    return cls(disk, bytes_scale=bytes_scale)
+    return cls(
+        disk,
+        bytes_scale=bytes_scale,
+        journal=journal,
+        counters=counters,
+        node_id=node_id,
+    )
 
 
 __all__ = [

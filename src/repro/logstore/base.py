@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.ec.delta import ParityDelta
 from repro.logstore.records import LogRecord
+from repro.obs.events import NULL_JOURNAL, EventJournal
 from repro.sim.disk import DiskModel
+from repro.sim.resources import Counters
 
 
 @dataclass
@@ -83,11 +85,24 @@ class LogScheme(ABC):
 
     name: str = "abstract"
 
-    def __init__(self, disk: DiskModel, bytes_scale: float = 1.0):
+    def __init__(
+        self,
+        disk: DiskModel,
+        bytes_scale: float = 1.0,
+        journal: EventJournal | None = None,
+        counters: Counters | None = None,
+        node_id: str = "",
+    ):
         #: cost model + IO statistics for this node's disk
         self.disk = disk
         #: logical bytes per physical byte (payload-scale compensation)
         self.bytes_scale = float(bytes_scale)
+        #: flight recorder + shared counter bag; stand-alone construction
+        #: (unit tests) gets no-op/private instances so the flush paths never
+        #: need a None check
+        self.journal = journal if journal is not None else NULL_JOURNAL
+        self.counters = counters if counters is not None else Counters()
+        self.node_id = node_id
         self.regions: dict[tuple[int, int], ReservedRegion] = {}
         self.flushes = 0
 
@@ -124,6 +139,27 @@ class LogScheme(ABC):
 
     # -- shared helpers -------------------------------------------------------
 
+    def _note_flush(self, records: list[LogRecord], duration_s: float) -> None:
+        """Account one completed flush batch: counters + a log_flush event.
+
+        Counters are suffixed with the scheme name so per-scheme disk-log
+        behaviour survives into profile snapshots (PL's one-sequential-write
+        flushes vs PLR's per-record random writes are different columns, not
+        one blurred total)."""
+        self.flushes += 1
+        nbytes = sum(r.logical_nbytes for r in records)
+        self.counters.add(f"log_flushes_{self.name}")
+        self.counters.add("log_flush_records", len(records))
+        self.counters.add("log_flush_bytes", nbytes)
+        self.journal.emit(
+            "log_flush",
+            node=self.node_id,
+            scheme=self.name,
+            records=len(records),
+            nbytes=nbytes,
+            duration_s=duration_s,
+        )
+
     def _apply_all(self, records: list[LogRecord]) -> None:
         for rec in records:
             self.region(rec.stripe_id, rec.parity_index).apply(rec)
@@ -143,4 +179,7 @@ class LogScheme(ABC):
             nbytes = per if i < extents - 1 else max(1, remaining)
             duration += self.disk.read(nbytes, sequential=False, now=now)
             remaining -= nbytes
+        self.counters.add("log_region_reads")
+        if extents > 1:
+            self.counters.add("log_region_spill_extents", extents - 1)
         return duration, extents, logical

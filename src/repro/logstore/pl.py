@@ -20,8 +20,8 @@ from repro.logstore.records import LogRecord
 class AppendOnlyPL(LogScheme):
     name = "pl"
 
-    def __init__(self, disk, bytes_scale: float = 1.0):
-        super().__init__(disk, bytes_scale=bytes_scale)
+    def __init__(self, disk, bytes_scale: float = 1.0, **kwargs):
+        super().__init__(disk, bytes_scale=bytes_scale, **kwargs)
         #: (stripe, parity) -> [bytes appended per flush batch that touched it]
         self._delta_extents: dict[tuple[int, int], list[int]] = defaultdict(list)
         self._base_extent: dict[tuple[int, int], int] = {}
@@ -30,10 +30,10 @@ class AppendOnlyPL(LogScheme):
     def flush(self, records: list[LogRecord], now: float) -> float:
         if not records:
             return 0.0
-        self.flushes += 1
         total = sum(r.logical_nbytes for r in records)
         dur = self.disk.write(total, sequential=True, now=now)
         self.appended_bytes += total
+        self.counters.add("log_appended_bytes", total)
         per_key_delta_bytes: dict[tuple[int, int], int] = defaultdict(int)
         for rec in records:
             if rec.is_chunk:
@@ -43,6 +43,7 @@ class AppendOnlyPL(LogScheme):
         for key, nbytes in per_key_delta_bytes.items():
             self._delta_extents[key].append(nbytes)
         self._apply_all(records)
+        self._note_flush(records, dur)
         return dur
 
     def read_parity(

@@ -26,8 +26,9 @@ class LazyMergePLM(LogScheme):
         disk: DiskModel,
         bytes_scale: float = 1.0,
         staging_threshold_bytes: int | None = None,
+        **kwargs,
     ):
-        super().__init__(disk, bytes_scale=bytes_scale)
+        super().__init__(disk, bytes_scale=bytes_scale, **kwargs)
         if staging_threshold_bytes is None:
             staging_threshold_bytes = disk.profile.log_staging_threshold_bytes
         self.staging_threshold_bytes = int(staging_threshold_bytes)
@@ -42,11 +43,11 @@ class LazyMergePLM(LogScheme):
     def flush(self, records: list[LogRecord], now: float) -> float:
         if not records:
             return 0.0
-        self.flushes += 1
         total = sum(r.logical_nbytes for r in records)
         dur = self.disk.write(total, sequential=True, now=now)
         self._staging.extend(records)
         self._staging_bytes += total
+        self._note_flush(records, dur)
         if self._staging_bytes >= self.staging_threshold_bytes:
             dur += self._lazy_merge(now)
         return dur
@@ -56,6 +57,8 @@ class LazyMergePLM(LogScheme):
         if not self._staging:
             return 0.0
         self.lazy_merges += 1
+        staged_records = len(self._staging)
+        staged_bytes = self._staging_bytes
         dur = self.disk.read(self._staging_bytes, sequential=True, now=now)
         groups: dict[tuple[int, int], list[LogRecord]] = defaultdict(list)
         order: list[tuple[int, int]] = []
@@ -69,6 +72,18 @@ class LazyMergePLM(LogScheme):
             self.region(*key).apply(merged)
         self._staging.clear()
         self._staging_bytes = 0
+        self.counters.add("log_lazy_merges")
+        self.counters.add("log_lazy_merge_bytes", staged_bytes)
+        self.counters.add("log_random_writes", len(order))
+        self.journal.emit(
+            "lazy_merge",
+            node=self.node_id,
+            scheme=self.name,
+            staged_records=staged_records,
+            staged_bytes=staged_bytes,
+            merged_writes=len(order),
+            duration_s=dur,
+        )
         return dur
 
     def settle(self, now: float) -> float:

@@ -19,12 +19,13 @@ class ReservedSpacePLR(LogScheme):
     def flush(self, records: list[LogRecord], now: float) -> float:
         if not records:
             return 0.0
-        self.flushes += 1
         dur = 0.0
         for rec in records:
             # one random write per record, into that stripe's reserved extent
             dur += self.disk.write(rec.logical_nbytes, sequential=False, now=now)
+        self.counters.add("log_random_writes", len(records))
         self._apply_all(records)
+        self._note_flush(records, dur)
         return dur
 
     def read_parity(

@@ -20,7 +20,6 @@ class MergingPLRm(LogScheme):
     def flush(self, records: list[LogRecord], now: float) -> float:
         if not records:
             return 0.0
-        self.flushes += 1
         groups: dict[tuple[int, int], list[LogRecord]] = defaultdict(list)
         order: list[tuple[int, int]] = []
         for rec in records:
@@ -32,6 +31,8 @@ class MergingPLRm(LogScheme):
             merged = merge_records(groups[key])
             dur += self.disk.write(merged.logical_nbytes, sequential=False, now=now)
             self.region(*key).apply(merged)
+        self.counters.add("log_random_writes", len(order))
+        self._note_flush(records, dur)
         return dur
 
     def read_parity(

@@ -7,16 +7,25 @@ the registry as a span sink -- so every finished op span lands in the per-op
 latency histograms automatically.
 """
 
+from repro.obs.events import EVENT_KINDS, NULL_JOURNAL, Event, EventJournal
+from repro.obs.export import journal_jsonl, prometheus_text, write_journal
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.span import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventJournal",
     "LatencyHistogram",
     "MetricsRegistry",
+    "NULL_JOURNAL",
     "NULL_SPAN",
     "Span",
     "Tracer",
     "init_observability",
+    "journal_jsonl",
+    "prometheus_text",
+    "write_journal",
 ]
 
 

@@ -1,0 +1,135 @@
+"""Exporters: Prometheus text exposition + journal JSONL dumps.
+
+The registry's :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` is the
+JSON-native form; this module renders the same data in the Prometheus text
+exposition format so the simulated store can be scraped (or just diffed)
+like a production one.  Output is fully deterministic: families, labels and
+values are sorted, and floats are rendered with a fixed format -- two
+same-seed runs produce byte-identical text (tests assert it).
+
+Conventions:
+
+* counters -> ``repro_counter_total{name="..."}``;
+* event totals (per-kind, surviving ring eviction) ->
+  ``repro_events_total{kind="..."}`` plus ``repro_events_dropped_total``;
+* per-op latency histograms -> the summary form
+  ``repro_op_latency_seconds{op=...,store=...,quantile=...}`` with the usual
+  ``_count`` / ``_sum`` companions;
+* per-phase mean seconds -> ``repro_phase_seconds_mean{op=...,phase=...}``.
+
+With several registries (one per store over one cluster), per-store series
+keep their ``store`` label and an aggregate series labelled
+``store="_all"`` is added by bin-wise histogram merging
+(:meth:`LatencyHistogram.merge` is exact -- same bins as observing the
+concatenated stream).
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventJournal
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _fmt(value: float) -> str:
+    """Fixed float rendering: integers without a dot, floats via %.12g."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):.12g}"
+
+
+def _labels(**labels: str) -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    lines: list[str], hist: LatencyHistogram, op: str, store: str
+) -> None:
+    base = {"op": op, "store": store}
+    for q in _QUANTILES:
+        lines.append(
+            "repro_op_latency_seconds"
+            + _labels(quantile=_fmt(q), **base)
+            + f" {_fmt(round(hist.quantile(q), 9))}"
+        )
+    lines.append(
+        "repro_op_latency_seconds_count" + _labels(**base) + f" {hist.count}"
+    )
+    lines.append(
+        "repro_op_latency_seconds_sum"
+        + _labels(**base)
+        + f" {_fmt(round(hist.total_s, 9))}"
+    )
+
+
+def prometheus_text(
+    registries: MetricsRegistry | list[MetricsRegistry],
+    journal: EventJournal | None = None,
+) -> str:
+    """Render registries (+ optional journal counts) as Prometheus text."""
+    if isinstance(registries, MetricsRegistry):
+        registries = [registries]
+    lines: list[str] = []
+
+    # counters: registries over one cluster share the same bag; count each
+    # distinct bag once, summing across genuinely different ones
+    totals: dict[str, float] = {}
+    seen_bags: set[int] = set()
+    for reg in registries:
+        if id(reg.counters) in seen_bags:
+            continue
+        seen_bags.add(id(reg.counters))
+        for name, value in reg.as_dict().items():
+            totals[name] = totals.get(name, 0.0) + value
+    lines.append("# TYPE repro_counter_total counter")
+    for name, value in sorted(totals.items()):
+        lines.append(
+            "repro_counter_total" + _labels(name=name) + f" {_fmt(round(value, 6))}"
+        )
+
+    if journal is not None:
+        lines.append("# TYPE repro_events_total counter")
+        for kind, n in sorted(journal.counts.items()):
+            lines.append("repro_events_total" + _labels(kind=kind) + f" {n}")
+        lines.append("# TYPE repro_events_dropped_total counter")
+        lines.append(f"repro_events_dropped_total {journal.dropped}")
+
+    lines.append("# TYPE repro_op_latency_seconds summary")
+    merged: dict[str, LatencyHistogram] = {}
+    for reg in sorted(registries, key=lambda r: r.store):
+        for op, hist in sorted(reg.op_latency.items()):
+            _histogram_lines(lines, hist, op, reg.store)
+            agg = merged.get(op)
+            if agg is None:
+                agg = merged[op] = LatencyHistogram()
+            agg.merge(hist)
+    if len(registries) > 1:
+        for op, hist in sorted(merged.items()):
+            _histogram_lines(lines, hist, op, "_all")
+
+    lines.append("# TYPE repro_phase_seconds_mean gauge")
+    for reg in sorted(registries, key=lambda r: r.store):
+        for (op, phase) in sorted(reg.phase_s):
+            mean = reg.phase_s[(op, phase)] / reg.phase_n[(op, phase)]
+            lines.append(
+                "repro_phase_seconds_mean"
+                + _labels(op=op, phase=phase, store=reg.store)
+                + f" {_fmt(round(mean, 9))}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def journal_jsonl(journal: EventJournal) -> str:
+    """The journal's byte-stable JSONL dump (one event per line)."""
+    return journal.to_jsonl()
+
+
+def write_journal(journal: EventJournal, path: str) -> None:
+    """Dump the journal to a JSONL file."""
+    with open(path, "w") as fh:
+        fh.write(journal.to_jsonl())

@@ -79,6 +79,25 @@ class LatencyHistogram:
                 return min(max(self._bin_upper_s(i), self.min_s), self.max_s)
         return self.max_s  # pragma: no cover - rank <= count always hits
 
+    def merge(self, other: LatencyHistogram) -> None:
+        """Fold another histogram in, bin-wise.
+
+        Because the bin layout is fixed (same edges in every instance), a
+        merge is exact: the merged histogram is bin-for-bin identical to one
+        that observed the concatenation of both streams, so quantiles,
+        count, min and max agree exactly and the sum agrees up to float
+        summation order (the hypothesis tests assert this).  The exporter
+        uses it to aggregate per-store registries into cluster totals."""
+        if other.count == 0:
+            return
+        for i, n in enumerate(other.bins):
+            if n:
+                self.bins[i] += n
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
     @property
     def mean_s(self) -> float:
         return self.total_s / self.count if self.count else 0.0

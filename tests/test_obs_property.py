@@ -1,0 +1,75 @@
+"""Property-based tests for LatencyHistogram: merge exactness and the
+quantile contract (monotone in q, clamped to the [min, max] envelope),
+including the underflow and overflow bins."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import LatencyHistogram
+
+# spans underflow (< 1e-7 s), all ten decades, and overflow (> 1e3 s)
+latencies = st.floats(
+    min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+streams = st.lists(latencies, min_size=0, max_size=200)
+quantiles = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def observe_all(values):
+    hist = LatencyHistogram()
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+@settings(max_examples=200, deadline=None)
+@given(streams, streams)
+def test_merge_equals_concatenated_stream(xs, ys):
+    merged = observe_all(xs)
+    merged.merge(observe_all(ys))
+    concat = observe_all(xs + ys)
+    assert merged.bins == concat.bins
+    assert merged.count == concat.count
+    assert merged.min_s == concat.min_s
+    assert merged.max_s == concat.max_s
+    # sums agree only up to float-addition order (merge adds subtotals)
+    assert math.isclose(merged.total_s, concat.total_s, rel_tol=1e-12, abs_tol=1e-15)
+    # quantiles depend only on bins/count/min/max, so they agree exactly
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert merged.quantile(q) == concat.quantile(q)
+
+
+@settings(max_examples=200, deadline=None)
+@given(streams, st.lists(quantiles, min_size=2, max_size=10))
+def test_quantile_monotone_and_within_envelope(xs, qs):
+    hist = observe_all(xs)
+    if not xs:
+        assert all(hist.quantile(q) == 0.0 for q in qs)
+        return
+    for q in qs:
+        v = hist.quantile(q)
+        assert hist.min_s <= v <= hist.max_s
+    for lo, hi in zip(sorted(qs), sorted(qs)[1:]):
+        assert hist.quantile(lo) <= hist.quantile(hi)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=9e-8), min_size=1, max_size=50))
+def test_all_underflow_quantiles_stay_in_envelope(xs):
+    # every sample lands in the underflow bin; the bin edge (1e-7) is above
+    # max_s, so the clamp must pull estimates back inside [min, max]
+    hist = observe_all(xs)
+    for q in (0.0, 0.5, 1.0):
+        assert hist.min_s <= hist.quantile(q) <= hist.max_s
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=2e3, max_value=1e6), min_size=1, max_size=50))
+def test_all_overflow_quantiles_stay_in_envelope(xs):
+    # every sample lands in the overflow bin, which has no finite upper
+    # edge; quantiles must fall back to the exact envelope
+    hist = observe_all(xs)
+    for q in (0.0, 0.5, 1.0):
+        assert hist.min_s <= hist.quantile(q) <= hist.max_s

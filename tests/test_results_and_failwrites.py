@@ -43,7 +43,32 @@ def test_csv_union_of_keys():
     rows = [{"a": 1}, {"a": 2, "b": "x"}]
     text = results.to_csv(rows)
     assert text.splitlines()[0] == "a,b"
-    assert results.from_csv(text)[0]["b"] == ""
+    assert results.from_csv(text)[0]["b"] is None  # missing cell, not ""
+
+
+def test_csv_mixed_type_roundtrip():
+    rows = [
+        {
+            "s": "plain",
+            "b_true": True,
+            "b_false": False,
+            "none": None,
+            "i": -3,
+            "f": 2.5,
+            "empty": "",
+            "numlike": "42",
+            "floatlike": "6.02e23",
+            "boolword": "True",
+            "quoted": '"already"',
+        }
+    ]
+    assert results.from_csv(results.to_csv(rows)) == rows
+
+
+def test_csv_legacy_booleans_decode():
+    # files written before the lowercase convention used repr(bool)
+    assert results.from_csv("ok\nTrue\n") == [{"ok": True}]
+    assert results.from_csv("ok\nFalse\n") == [{"ok": False}]
 
 
 def test_empty_csv():
