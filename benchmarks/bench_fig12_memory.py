@@ -41,7 +41,7 @@ def test_fig12_memory(benchmark, show):
         )
 
     # shapes + the paper's headline magnitudes
-    for k, r in PAPER_CODES:
+    for k, _r in PAPER_CODES:
         for ratio in RU_RATIOS:
             assert _get(rows, "logecmem", k, ratio) < _get(rows, "ipmem", k, ratio)
             assert _get(rows, "logecmem", k, ratio) < _get(rows, "fsmem", k, ratio)

@@ -60,7 +60,7 @@ def test_fig16_tradeoff(benchmark, show):
 
     # Figure 16's framing: LogECMem's latencies are flat across ratios per
     # code, while FSMem's vary widely
-    for k, r in CODES:
+    for k, _r in CODES:
         lec = [p.update_latency_us for p in points if p.store == "logecmem" and p.k == k]
         fs = [p.update_latency_us for p in points if p.store == "fsmem" and p.k == k]
         assert max(lec) / min(lec) < 1.1

@@ -30,5 +30,5 @@ def make_store(name: str, config):
     try:
         cls = registry[name.lower()]
     except KeyError:
-        raise ValueError(f"unknown store {name!r}; choose from {sorted(registry)}")
+        raise ValueError(f"unknown store {name!r}; choose from {sorted(registry)}") from None
     return cls(config)

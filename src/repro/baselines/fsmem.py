@@ -110,7 +110,7 @@ class FSMem(StripedStoreBase):
         released without any reads.  Returns total GC seconds."""
         cfg = self.cfg
         total = 0.0
-        for sid, stale in sorted(self.stale_chunks.items()):
+        for _sid, stale in sorted(self.stale_chunks.items()):
             m = len(stale)
             active = cfg.k - m
             if active > 0:
@@ -143,13 +143,20 @@ class FSMem(StripedStoreBase):
         and the ablation can measure the reclaimed one."""
         freed = 0
         for node in self.cluster.dram_nodes.values():
-            stale_keys = [k for k in list(node.table.keys()) if "@v" in k]
+            # one pass in the memtable's insertion order (dict order is the
+            # arrival order, so GC victims are selected oldest-first and the
+            # victim sequence is identical across runs and hash seeds); only
             # the *latest* version of each object must survive
-            for skey in stale_keys:
+            victims = []
+            for skey in node.table.keys():
+                if "@v" not in skey:
+                    continue
                 base, _, ver = skey.rpartition("@v")
                 if int(ver) != self.versions.get(base, -1):
-                    freed += node.table.get(skey).footprint
-                    node.table.delete(skey)
+                    victims.append(skey)
+            for skey in victims:
+                freed += node.table.get(skey).footprint
+                node.table.delete(skey)
         # stale original-version items (objects that were updated at least once)
         for key, version in self.versions.items():
             if version > 0 and key not in self.deleted:

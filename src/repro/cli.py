@@ -46,14 +46,16 @@ def _parse_code(text: str) -> tuple[int, int]:
         k, r = (int(x) for x in text.split(","))
         return k, r
     except ValueError:
-        raise argparse.ArgumentTypeError(f"code must look like '6,3', got {text!r}")
+        raise argparse.ArgumentTypeError(
+            f"code must look like '6,3', got {text!r}"
+        ) from None
 
 
 def _positive_float(text: str) -> float:
     try:
         value = float(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
     return value
@@ -178,6 +180,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal-out", default=None,
                    help="write the full journal as JSONL to this path")
     _add_scale(p)
+
+    p = sub.add_parser(
+        "lint",
+        help="simlint: AST-based determinism & sim-hygiene analysis "
+        "(SIM001-SIM006) over src/ and tests/",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src tests)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="finding output format (both byte-deterministic)")
+    p.add_argument("--root", default=None,
+                   help="repo root for relative paths/registries (default: cwd)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON of grandfathered finding ids "
+                   "(default: <root>/simlint-baseline.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline with every current finding id")
+    p.add_argument("--allow-wallclock", action="append", default=[],
+                   metavar="GLOB",
+                   help="relpath glob where SIM001 wall-clock calls are "
+                   "permitted (repeatable)")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalogue and exit")
 
     p = sub.add_parser(
         "compare",
@@ -506,6 +531,30 @@ def cmd_inspect(args, out) -> None:
         out(f"journal written to {args.journal_out}")
 
 
+def cmd_lint(args, out) -> None:
+    """Run the simlint determinism/hygiene pass; exit 1 on findings."""
+    from pathlib import Path
+
+    from repro.devtools.simlint import RULE_DOCS, run_lint
+
+    if args.rules:
+        for rule in sorted(RULE_DOCS):
+            out(f"{rule}  {RULE_DOCS[rule]}")
+        return
+    root = Path(args.root) if args.root else Path.cwd()
+    code = run_lint(
+        paths=args.paths or None,
+        root=root,
+        fmt=args.format,
+        baseline_path=Path(args.baseline) if args.baseline else None,
+        update_baseline=args.update_baseline,
+        wallclock_allow=tuple(args.allow_wallclock),
+        out=out,
+    )
+    if code:
+        raise SystemExit(code)
+
+
 def cmd_compare(args, out) -> None:
     import json
     from pathlib import Path
@@ -577,6 +626,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "chaos": cmd_chaos,
         "inspect": cmd_inspect,
         "compare": cmd_compare,
+        "lint": cmd_lint,
     }
     handler = handlers.get(args.command, cmd_experiment)
     handler(args, out)

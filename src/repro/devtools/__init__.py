@@ -1,0 +1,5 @@
+"""Developer tooling that treats the repo's own source as data.
+
+Nothing in here is imported by the simulation; these modules back
+``python -m repro lint`` and CI hygiene jobs.
+"""

@@ -1,0 +1,98 @@
+"""Cross-module name resolution for SIM004.
+
+The event taxonomy (``EVENT_KINDS`` in ``repro/obs/events.py``) and the
+counter registry (``COUNTER_NAMES`` / ``COUNTER_PREFIXES`` in
+``repro/sim/resources.py``) are *parsed out of their defining modules'
+ASTs*, never imported -- linting must not execute repo code, and must work
+on a tree that currently fails to import.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Registry:
+    """Declared names SIM004 resolves literals against.
+
+    ``None`` means the declaration could not be found; the corresponding
+    check is skipped (never spuriously fired) in that case.
+    """
+
+    event_kinds: frozenset[str] | None = None
+    counter_names: frozenset[str] | None = None
+    counter_prefixes: tuple[str, ...] = ()
+
+
+def _assigned_value(tree: ast.Module, name: str) -> ast.expr | None:
+    """The value expression of a module-level ``name = ...`` statement."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Name) and t.id == name:
+                return node.value
+    return None
+
+
+def _string_elts(value: ast.expr | None) -> list[str] | None:
+    """String constants inside a set/tuple/list display or a ``frozenset``/
+    ``set``/``tuple`` call wrapping one."""
+    if value is None:
+        return None
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("frozenset", "set", "tuple")
+        and len(value.args) == 1
+    ):
+        value = value.args[0]
+    if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+        out = []
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            out.append(elt.value)
+        return out
+    return None
+
+
+def _parse(path: Path) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+
+
+def load_registry(root: Path, events_module: str, counters_module: str) -> Registry:
+    """Extract the declared taxonomies from the two registry modules."""
+    event_kinds: frozenset[str] | None = None
+    counter_names: frozenset[str] | None = None
+    counter_prefixes: tuple[str, ...] = ()
+
+    tree = _parse(root / events_module)
+    if tree is not None:
+        elts = _string_elts(_assigned_value(tree, "EVENT_KINDS"))
+        if elts is not None:
+            event_kinds = frozenset(elts)
+
+    tree = _parse(root / counters_module)
+    if tree is not None:
+        elts = _string_elts(_assigned_value(tree, "COUNTER_NAMES"))
+        if elts is not None:
+            counter_names = frozenset(elts)
+        prefixes = _string_elts(_assigned_value(tree, "COUNTER_PREFIXES"))
+        if prefixes is not None:
+            counter_prefixes = tuple(prefixes)
+
+    return Registry(
+        event_kinds=event_kinds,
+        counter_names=counter_names,
+        counter_prefixes=counter_prefixes,
+    )

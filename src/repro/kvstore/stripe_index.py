@@ -67,7 +67,7 @@ class StripeIndex:
 
     def put(self, record: StripeRecord) -> None:
         self._stripes[record.stripe_id] = record
-        for nid in set(record.chunk_nodes):
+        for nid in sorted(set(record.chunk_nodes)):
             self._by_node.setdefault(nid, set()).add(record.stripe_id)
 
     def get(self, stripe_id: int) -> StripeRecord:
@@ -86,7 +86,7 @@ class StripeIndex:
         rec = self._stripes.pop(stripe_id, None)
         if rec is None:
             raise KeyError(f"stripe {stripe_id} is not indexed")
-        for nid in set(rec.chunk_nodes):
+        for nid in sorted(set(rec.chunk_nodes)):
             bucket = self._by_node.get(nid)
             if bucket is not None:
                 bucket.discard(stripe_id)

@@ -51,7 +51,7 @@ def make_scheme(
     try:
         cls = SCHEMES[name.lower()]
     except KeyError:
-        raise ValueError(f"unknown log scheme {name!r}; choose from {sorted(SCHEMES)}")
+        raise ValueError(f"unknown log scheme {name!r}; choose from {sorted(SCHEMES)}") from None
     return cls(
         disk,
         bytes_scale=bytes_scale,

@@ -15,6 +15,61 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+#: The declared counter registry.  Every *literal* counter name passed to
+#: :meth:`Counters.add` anywhere in the tree must appear here (or match a
+#: prefix below) -- enforced statically by simlint rule SIM004, which parses
+#: this assignment out of the module source.  Keeping the names declared in
+#: one place is what lets profile snapshots, the Prometheus exporter and the
+#: regression gate agree on the metric namespace.
+COUNTER_NAMES = frozenset(
+    {
+        "chunk_reads",
+        "chunk_writes",
+        "coalesce_flushes",
+        "coalesced_updates",
+        "corrupt_chunks_detected",
+        "gc_passes",
+        "gc_stripes",
+        "gc_stripes_collected",
+        "log_appended_bytes",
+        "log_buffer_appends",
+        "log_buffer_drops",
+        "log_buffer_merges",
+        "log_flush_bytes",
+        "log_flush_records",
+        "log_lazy_merge_bytes",
+        "log_lazy_merges",
+        "log_node_recoveries",
+        "log_random_writes",
+        "log_region_reads",
+        "log_region_spill_extents",
+        "logged_parity_disk_reads",
+        "logged_parity_reads",
+        "multi_failure_repairs",
+        "net_bytes",
+        "net_messages",
+        "net_rpcs",
+        "node_repair_chunks",
+        "node_repairs",
+        "nodes_decommissioned",
+        "nodes_joined",
+        "op_degraded_read",
+        "op_delete",
+        "op_read",
+        "op_update",
+        "op_write",
+        "parity_chunk_reads",
+        "parity_deltas_sent",
+        "parity_deltas_skipped",
+        "proxy_failovers",
+        "stripes_sealed",
+    }
+)
+
+#: Dynamic counter families (name built with an f-string at runtime): the
+#: journal's per-kind event totals and the per-scheme flush tallies.
+COUNTER_PREFIXES = ("events_", "log_flushes_")
+
 
 class Resource:
     """A serially-shared device with FIFO reservations and busy accounting."""

@@ -69,7 +69,7 @@ def _lookup(name: str) -> PresetDef:
     try:
         return PRESETS[name.upper()]
     except KeyError:
-        raise ValueError(f"unknown YCSB preset {name!r}; choose from {sorted(PRESETS)}")
+        raise ValueError(f"unknown YCSB preset {name!r}; choose from {sorted(PRESETS)}") from None
 
 
 def generate_preset_requests(name: str, spec: WorkloadSpec) -> list[Request]:

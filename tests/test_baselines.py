@@ -203,6 +203,42 @@ def test_fsmem_reclaim_frees_stale_versions():
     assert np.array_equal(s.read("user3").value, s.expected_value("user3"))
 
 
+def test_fsmem_reclaim_victim_order_is_pinned():
+    """GC victims fall in memtable insertion order (oldest stale version
+    first, per node), identically on every run -- the reclaim scan must not
+    regress to a hash-order walk."""
+
+    def run_once():
+        s = _load(FSMem(_cfg()))
+        for key in ("user5", "user2", "user5", "user9", "user2"):
+            s.update(key)
+        expected = []
+        for node in s.cluster.dram_nodes.values():
+            for skey in node.table.keys():
+                if "@v" not in skey:
+                    continue
+                base, _, ver = skey.rpartition("@v")
+                if int(ver) != s.versions.get(base, -1):
+                    expected.append(skey)
+        deleted = []
+        for node in s.cluster.dram_nodes.values():
+            real_delete = node.table.delete
+
+            def spy(key, _real=real_delete):
+                deleted.append(key)
+                return _real(key)
+
+            node.table.delete = spy
+        s.reclaim()
+        stale_deleted = [k for k in deleted if "@v" in k]
+        return expected, stale_deleted
+
+    expected, stale_deleted = run_once()
+    assert expected  # the workload really produced superseded versions
+    assert stale_deleted == expected
+    assert run_once()[1] == stale_deleted  # byte-identical victim sequence
+
+
 def test_fsmem_fully_replaced_stripe_needs_no_gc_reads():
     """Figure 1(b): a stripe whose chunks are all replaced releases for free."""
     cfg = _cfg(k=4)

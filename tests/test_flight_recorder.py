@@ -49,7 +49,7 @@ def test_emit_stamps_clock_and_counts():
 def test_emit_rejects_unknown_kind():
     journal = EventJournal(SimClock())
     with pytest.raises(ValueError):
-        journal.emit("not_a_kind")
+        journal.emit("not_a_kind")  # simlint: disable=SIM004
 
 
 def test_ring_bounded_counts_survive_eviction():

@@ -276,7 +276,7 @@ def test_plm_repair_reads_fewer_bytes_than_plr():
         rng = np.random.default_rng(0)
         base = rng.integers(0, 256, PHYS, dtype=np.uint8)
         scheme.flush([LogRecord.for_chunk(1, 1, base, LOGICAL)], now=0.0)
-        for i in range(4):
+        for _ in range(4):
             d = ParityDelta(1, 1, 0, rng.integers(0, 256, 64, dtype=np.uint8))
             scheme.flush([LogRecord.for_delta(d, 1024)], now=0.0)
         scheme.settle(now=0.0)

@@ -137,7 +137,7 @@ def test_metrics_registry_wraps_counters_and_ingests_spans():
     reg = MetricsRegistry(counters, store="test")
     reg.add("x", 2)
     assert counters.get("x") == 2  # same bag, not a copy
-    counters.add("x")
+    counters.add("x")  # simlint: disable=SIM004 -- ad-hoc name, generic-bag test
     assert reg["x"] == 3
     span = Span("update", 0.0)
     span.child("read_old_xor", 0.3)

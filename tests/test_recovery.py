@@ -63,7 +63,7 @@ def test_recovery_supersedes_stale_deltas():
     node = store.cluster.log_nodes[node_id]
     crash_log_node(node)
     recover_log_node(store, node_id)
-    for (sid, j), region in node.scheme.regions.items():
+    for (_sid, _j), region in node.scheme.regions.items():
         assert region.base is not None
         assert region.deltas == []
 

@@ -25,7 +25,7 @@ def test_table2_reproduced_within_one_percent(code, bandwidth):
 def test_table2_full_grid():
     grid = table2()
     assert set(grid) == set(PAPER_TABLE2)
-    for code, row in grid.items():
+    for _code, row in grid.items():
         assert set(row) == {1, 10, 40, 100}
 
 
@@ -78,6 +78,6 @@ def test_mttdl_decreases_with_failure_rate():
 
 
 def test_mttdl_positive_for_all_paper_codes():
-    for (k, r), row in table2(paper_mode=False).items():
-        for b, v in row.items():
+    for (_k, _r), row in table2(paper_mode=False).items():
+        for _b, v in row.items():
             assert v > 0

@@ -92,7 +92,7 @@ def test_plm_merging_avoids_overflow():
     base = rng.integers(0, 256, PHYS, dtype=np.uint8)
     for scheme in (plr, plm):
         scheme.flush([LogRecord.for_chunk(1, 1, base, LOGICAL)], now=0.0)
-        for i in range(8):  # same 64-byte range over and over
+        for _ in range(8):  # same 64-byte range over and over
             payload = rng.integers(0, 256, 64, dtype=np.uint8)
             scheme.flush(
                 [LogRecord.for_delta(ParityDelta(1, 1, 0, payload), 1024)], now=0.0

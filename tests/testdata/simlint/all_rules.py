@@ -1,0 +1,47 @@
+"""Deliberately non-deterministic module: one violation of every SIM rule.
+
+Lives under ``testdata/`` so default scans skip it; tests and the CI
+negative check lint it explicitly and assert the run fails.  DO NOT fix
+these -- they are the fixture.
+"""
+
+import random
+import time
+from dataclasses import dataclass, field
+
+
+def sim001_wall_clock():
+    return time.perf_counter()
+
+
+def sim002_global_rng():
+    return random.randint(0, 6)
+
+
+def sim003_set_iteration(node_ids):
+    total = 0
+    for nid in set(node_ids):
+        total += hash(nid)
+    victims = {1, 2, 3}
+    victims.pop()
+    return total + sum(set(node_ids))
+
+
+def sim004_unknown_event(journal, counters):
+    journal.emit("warp_core_breach", node="dram0")
+    counters.add("made_up_counter")
+
+
+def sim005_clock_mutation(clock):
+    clock.now = 12.0
+    clock.advance(-0.5)
+
+
+def sim006_mutable_default(batch=[]):
+    batch.append(1)
+    return batch
+
+
+@dataclass
+class Sim006Record:
+    tags: list = field(default=[])
