@@ -18,6 +18,7 @@ from repro.analysis.timeline import (
     attribute_latency,
     event_timeline,
     fault_windows,
+    mttr_s,
 )
 from repro.analysis.tradeoff import TradeoffPoint, table3, tradeoff_points
 from repro.analysis.report import format_table, fmt_scientific, gib
@@ -32,6 +33,7 @@ __all__ = [
     "format_table",
     "gib",
     "memory_overhead_model",
+    "mttr_s",
     "observation2_table",
     "stripe_update_histogram",
     "table3",

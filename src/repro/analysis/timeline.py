@@ -40,11 +40,19 @@ class FaultWindow:
     kind: str
     node_id: str
     start_s: float
-    end_s: float  # math.inf when the fault never healed within the run
+    end_s: float  # math.inf when the fault never healed and no run end is known
+    #: False when no closer event was found -- the fault was still open when
+    #: the run (or the supplied horizon) ended; ``end_s`` is then the clamp
+    #: point, not a healing time
+    healed: bool = True
 
     @property
     def closed(self) -> bool:
         return math.isfinite(self.end_s)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
 
     def contains(self, t_s: float) -> bool:
         return self.start_s <= t_s <= self.end_s
@@ -55,16 +63,23 @@ class FaultWindow:
             "node": self.node_id,
             "start_s": round(self.start_s, 9),
             "end_s": round(self.end_s, 9) if self.closed else None,
+            "healed": self.healed,
         }
 
 
-def fault_windows(events: list[dict]) -> list[FaultWindow]:
+def fault_windows(
+    events: list[dict], run_end_s: float | None = None
+) -> list[FaultWindow]:
     """Pair ``fault_inject`` events with whatever closed them.
 
     A window closes at the first matching closer event for the same node
-    after it opened; a ``stall`` closes after its injected duration; anything
-    left open runs to ``inf``.  Events must be the journal's dict form
-    (chronological, as ``EventJournal.to_dicts()`` returns them).
+    after it opened; a ``stall`` closes after its injected duration.  A fault
+    with no closer stays *open* (``healed=False``): with ``run_end_s`` given
+    it is clamped there -- it ran for the rest of the run -- otherwise its
+    end is ``inf``.  Open windows therefore always participate in latency
+    attribution and MTTR; they are never silently dropped.  Events must be
+    the journal's dict form (chronological, as ``EventJournal.to_dicts()``
+    returns them).
     """
     windows: list[FaultWindow] = []
     for i, ev in enumerate(events):
@@ -75,6 +90,7 @@ def fault_windows(events: list[dict]) -> list[FaultWindow]:
         node = attrs["node"]
         start = ev["t_s"]
         end = math.inf
+        healed = False
         closers = _CLOSERS.get(kind, ("fault_heal",))
         for later in events[i + 1 :]:
             if (
@@ -83,11 +99,31 @@ def fault_windows(events: list[dict]) -> list[FaultWindow]:
                 and later["t_s"] >= start
             ):
                 end = later["t_s"]
+                healed = True
                 break
-        if not math.isfinite(end) and kind == "stall":
+        if not healed and kind == "stall":
             end = start + attrs.get("duration_s", 0.0)
-        windows.append(FaultWindow(kind=kind, node_id=node, start_s=start, end_s=end))
+            healed = True
+        if not healed and run_end_s is not None:
+            end = max(start, run_end_s)
+        windows.append(
+            FaultWindow(kind=kind, node_id=node, start_s=start, end_s=end, healed=healed)
+        )
     return windows
+
+
+def mttr_s(windows: list[FaultWindow]) -> float:
+    """Mean time to repair across fault windows.
+
+    Open windows count at their clamped duration (fault active until run
+    end) -- pass ``run_end_s`` to :func:`fault_windows` so the mean stays
+    finite; a window left at ``inf`` makes the MTTR ``inf``, which is the
+    honest answer for an unbounded outage.  No windows means nothing ever
+    broke: MTTR 0.
+    """
+    if not windows:
+        return 0.0
+    return sum(w.duration_s for w in windows) / len(windows)
 
 
 def attribute_latency(

@@ -15,7 +15,9 @@ Covered slices:
 * ``exp2`` -- the EC stores under the 50:50 update-heavy mix (Figure 11);
 * ``exp6`` -- LogECMem degraded reads with two DRAM nodes down, exercising
   the logged-parity escalation (Figure 14 c-d);
-* ``exp7`` -- node repair with and without log-assist (Figure 15).
+* ``exp7`` -- node repair with and without log-assist (Figure 15);
+* ``heal`` -- the closed-loop control-plane experiment: MTTR/availability
+  with and without the plane, plus the plane's own action counts.
 """
 
 from __future__ import annotations
@@ -28,10 +30,11 @@ from repro.baselines import make_store
 from repro.bench.runner import load_store, measure_degraded_reads, run_requests
 from repro.core.config import StoreConfig
 from repro.core.repair import repair_node
+from repro.heal import run_heal_experiment
 from repro.obs import init_observability
 from repro.workloads import WorkloadSpec, generate_requests
 
-PROFILE_EXPERIMENTS = ("exp1", "exp2", "exp6", "exp7")
+PROFILE_EXPERIMENTS = ("exp1", "exp2", "exp6", "exp7", "heal")
 
 ALL_STORES = ("vanilla", "replication", "ipmem", "fsmem", "logecmem")
 EC_STORES = ("ipmem", "fsmem", "logecmem")
@@ -136,11 +139,53 @@ def profile_exp7(n_objects: int, n_requests: int, seed: int) -> dict:
     return out
 
 
+def profile_heal(n_objects: int, n_requests: int, seed: int) -> dict:
+    """Closed-loop resilience: the seeded heal experiment's headline numbers.
+
+    Integer leaves (violations, op counts, plane action counts) gate exactly;
+    the MTTR/availability floats gate on the usual relative thresholds, so a
+    control-plane regression (slower detection, lost repairs, new rollbacks)
+    fails ``python -m repro compare`` like any other perf slide.
+    """
+    doc = run_heal_experiment(n_objects=n_objects, n_requests=n_requests, seed=seed)
+    heal = doc["heal"]
+    out = {}
+    for arm in ("disabled", "enabled"):
+        summary = doc[arm]
+        out[arm] = {
+            key: summary[key]
+            for key in (
+                "mttr_ms",
+                "availability_pct",
+                "violations",
+                "ops_acked",
+                "ops_failed",
+                "degraded_reads",
+                "fingerprint",
+            )
+        }
+    out["plane"] = {
+        "incidents": len(heal["incidents"]),
+        "incidents_suppressed": heal["incidents_suppressed"],
+        "actions_proposed": heal["actions_proposed"],
+        "actions_executed": heal["actions_executed"],
+        "actions_deferred": heal["actions_deferred"],
+        "rollbacks": heal["rollbacks"],
+        "escalations": heal["escalations"],
+    }
+    out["gains"] = {
+        "mttr_improvement_ms": doc["mttr_improvement_ms"],
+        "availability_gain_pct": doc["availability_gain_pct"],
+    }
+    return {"logecmem": out}
+
+
 PROFILE_FUNCS = {
     "exp1": profile_exp1,
     "exp2": profile_exp2,
     "exp6": profile_exp6,
     "exp7": profile_exp7,
+    "heal": profile_heal,
 }
 
 

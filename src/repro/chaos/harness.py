@@ -23,7 +23,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
-from repro.analysis.timeline import attribute_latency, fault_windows
+from repro.analysis.timeline import attribute_latency, fault_windows, mttr_s
 from repro.bench.runner import load_store
 from repro.chaos.faults import FaultInjector
 from repro.chaos.invariants import InvariantReport, check_store
@@ -76,6 +76,11 @@ class ChaosReport:
     events: list = field(default_factory=list)
     #: per-fault-window latency attribution (analysis/timeline.py)
     fault_attribution: list = field(default_factory=list)
+    #: mean time to repair across fault windows, open windows clamped to the
+    #: run end -- the closed-loop resilience headline number
+    mttr_s: float = 0.0
+    #: control-plane summary (repro.heal), empty when no plane participated
+    heal: dict = field(default_factory=dict)
 
     @property
     def violations(self) -> int:
@@ -110,6 +115,8 @@ class ChaosReport:
             "metrics": self.metrics,
             "events": self.events,
             "fault_attribution": self.fault_attribution,
+            "mttr_s": self.mttr_s,
+            "heal": self.heal,
         }
 
     def fingerprint(self) -> str:
@@ -128,7 +135,8 @@ class ChaosReport:
             f"{self.faults_unfired} past the horizon",
             f"  recovery   : {len(self.repairs)} node repairs, "
             f"{len(self.recoveries)} log recoveries, "
-            f"{self.data_loss_events} data-loss events",
+            f"{self.data_loss_events} data-loss events, "
+            f"MTTR {self.mttr_s * 1e3:.2f}ms",
             f"  available  : {self.availability * 100:.3f}% node-time; downtime "
             + ", ".join(
                 f"{nid}={s * 1e3:.2f}ms"
@@ -159,6 +167,7 @@ class ChaosRun:
         policy: RetryPolicy | None = None,
         repair_delay_s: float = 5e-3,
         repair: bool = True,
+        control_plane=None,
     ):
         self.store = store
         self.spec = spec
@@ -170,6 +179,14 @@ class ChaosRun:
         self.recovery_q = EventQueue()
         self.injector = FaultInjector(store.cluster)
         self.proxy = RobustProxy(store, policy, wait=self._wait)
+        #: optional repro.heal.ControlPlane; when present it owns remediation
+        #: (pass ``repair=False`` so the harness's hard-wired repair does not
+        #: race it) and is polled from the event pump like a sidecar daemon
+        self.control_plane = control_plane
+        if control_plane is not None:
+            control_plane.attach(
+                store, policy=self.proxy.policy, note=self.injector.note
+            )
         self.repairs: list[dict] = []
         self.recoveries: list[dict] = []
         self.data_loss_events = 0
@@ -180,7 +197,7 @@ class ChaosRun:
 
     def _wait(self, dt: float) -> None:
         self.clock.advance(dt)
-        self._pump(self.clock.now)
+        self._pump_and_heal(self.clock.now)
 
     def _pump(self, now: float) -> None:
         """Fire everything due from both queues in global time order
@@ -196,6 +213,13 @@ class ChaosRun:
                 self.faults_q.run_until(nxt)
             else:
                 self.recovery_q.run_until(nxt)
+
+    def _pump_and_heal(self, now: float) -> None:
+        """Pump the queues, then give the control plane (if any) a tick --
+        it sees freshly-fired faults through the journal, like a daemon."""
+        self._pump(now)
+        if self.control_plane is not None:
+            self.control_plane.poll(self.clock.now)
 
     # --------------------------------------------------------- fault handling
 
@@ -336,7 +360,7 @@ class ChaosRun:
         profile = store.cfg.profile
         requests = generate_requests(spec)
         for req in requests:
-            self._pump(self.clock.now)
+            self._pump_and_heal(self.clock.now)
             bytes_before = counters["net_bytes"]
             rpcs_before = counters["net_rpcs"]
             outcome = self.proxy.execute(req)
@@ -365,6 +389,11 @@ class ChaosRun:
         faults_unfired = len(self.faults_q)
         self.faults_q.clear()
         self.recovery_q.drain()
+        if self.control_plane is not None:
+            # give the plane a tick to see the drained heals, then let it
+            # work off any still-queued remediation before the books close
+            self.control_plane.poll(self.clock.now)
+            self.control_plane.quiesce(self._wait)
         store.finalize()
 
         makespan = self.clock.now
@@ -407,9 +436,11 @@ class ChaosRun:
         samples = [
             (o.at_s, o.latency_s, o.op) for o in self.outcomes if o.acked
         ]
-        report.fault_attribution = attribute_latency(
-            fault_windows(report.events), samples
-        )
+        windows = fault_windows(report.events, run_end_s=makespan)
+        report.fault_attribution = attribute_latency(windows, samples)
+        report.mttr_s = round(mttr_s(windows), 9)
+        if self.control_plane is not None:
+            report.heal = self.control_plane.report()
         invariant_report: InvariantReport = check_store(store)
         report.invariants = invariant_report.to_dict()
         return report
@@ -423,13 +454,20 @@ def run_chaos(
     expected_faults: float = 4.0,
     repair_delay_s: float = 5e-3,
     repair: bool = True,
+    control_plane=None,
 ) -> ChaosReport:
     """Load the store, then replay the workload under a fault schedule.
 
     With ``schedule=None`` a Poisson schedule is generated from the seed with
     ~``expected_faults`` arrivals over the run's estimated horizon (derived
     from the measured load-phase latency, so it needs no tuning per scale).
+
+    ``control_plane`` hands remediation to a :class:`repro.heal.ControlPlane`;
+    the harness's own hard-wired repair is disabled so the plane cannot race
+    it (the plane detects through the journal and repairs on its own clock).
     """
+    if control_plane is not None:
+        repair = False
     load_s = load_store(store, spec)
     if schedule is None:
         mean_op_s = load_s / max(1, spec.n_objects)
@@ -456,5 +494,6 @@ def run_chaos(
         policy=policy,
         repair_delay_s=repair_delay_s,
         repair=repair,
+        control_plane=control_plane,
     )
     return run.execute()

@@ -126,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=["exp1", "exp2", "exp6", "exp7", "all"],
+        choices=["exp1", "exp2", "exp6", "exp7", "heal", "all"],
         help="which profile slice to run ('all' = every slice)",
     )
     p.add_argument("--objects", type=int, default=600)
@@ -151,6 +151,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="expected fault arrivals over the run (Poisson)")
     p.add_argument("--timeline", action="store_true",
                    help="also print the full fault/recovery timeline")
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "heal",
+        help="closed-loop resilience experiment: the same seeded chaos run "
+        "with and without the self-healing control plane",
+    )
+    p.add_argument("--store", default="logecmem",
+                   choices=["vanilla", "replication", "ipmem", "fsmem", "logecmem"])
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default="50:50", help="read:update ratio")
+    p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
+    p.add_argument("--value-size", type=int, default=4096)
+    p.add_argument("--faults", type=_positive_float, default=6.0,
+                   help="expected fault arrivals over the run (Poisson)")
+    p.add_argument("--report", action="store_true",
+                   help="print the full MTTR/availability table and every "
+                   "executed action")
     _add_scale(p)
 
     p = sub.add_parser(
@@ -433,6 +451,76 @@ def cmd_chaos(args, out) -> None:
         raise SystemExit(1)
 
 
+def cmd_heal(args, out) -> None:
+    """Run both arms of the resilience experiment; exit 1 unless the control
+    plane strictly improves MTTR and availability with clean invariants."""
+    from repro.heal import experiment_ok, run_heal_experiment
+
+    k, r = args.code
+    doc = run_heal_experiment(
+        store_name=args.store,
+        scheme=args.scheme,
+        k=k,
+        r=r,
+        value_size=args.value_size,
+        ratio=args.ratio,
+        n_objects=args.objects,
+        n_requests=args.requests,
+        seed=args.seed,
+        expected_faults=args.faults,
+    )
+    rows = []
+    for arm in ("disabled", "enabled"):
+        s = doc[arm]
+        rows.append([
+            arm,
+            f"{s['mttr_ms']:.3f}",
+            f"{s['availability_pct']:.4f}",
+            s["violations"],
+            s["ops_failed"],
+            s["degraded_reads"],
+        ])
+    out(format_table(
+        ["control plane", "MTTR ms", "avail %", "violations", "failed ops",
+         "degraded"],
+        rows,
+        title=f"{args.store} ({k},{r}) closed-loop resilience, seed {args.seed}",
+    ))
+    heal = doc["heal"]
+    out(f"plane: {len(heal['incidents'])} incidents "
+        f"({heal['incidents_suppressed']} suppressed), "
+        f"{heal['actions_executed']}/{heal['actions_proposed']} actions executed, "
+        f"{heal['actions_deferred']} deferrals, {heal['rollbacks']} rollbacks, "
+        f"{heal['escalations']} escalations")
+    out(f"MTTR improvement: {doc['mttr_improvement_ms']:.3f} ms; "
+        f"availability gain: {doc['availability_gain_pct']:.4f} pp")
+    if args.report:
+        out(format_table(
+            ["seq", "action", "node", "incident", "status", "pre ok", "post ok"],
+            [[e["action"]["seq"], e["action"]["kind"], e["action"]["node"],
+              e["action"]["incident"], e["result"].get("status", "?"),
+              not e["pre"]["violations"], not e["new_violations"]]
+             for e in heal["executed"]],
+            title="executed actions (verification-bracketed)",
+        ))
+        for inc in heal["incidents"]:
+            state = "resolved" if inc["resolved"] else "OPEN"
+            out(f"  incident {inc['seq']}: {inc['kind']} on {inc['node']} "
+                f"@ {inc['detected_s'] * 1e3:.3f} ms [{state}]")
+    if args.out:
+        import json
+        from pathlib import Path
+
+        doc.pop("reports", None)
+        Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        out(f"experiment saved to {args.out}")
+    problems = experiment_ok(doc)
+    for p in problems:
+        out(f"FAIL: {p}")
+    if problems:
+        raise SystemExit(1)
+
+
 def cmd_inspect(args, out) -> None:
     """State dump after a run: nodes, stripes, journal tail, exporter text."""
     from repro.analysis.timeline import event_timeline
@@ -624,6 +712,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "run": cmd_run,
         "profile": cmd_profile,
         "chaos": cmd_chaos,
+        "heal": cmd_heal,
         "inspect": cmd_inspect,
         "compare": cmd_compare,
         "lint": cmd_lint,

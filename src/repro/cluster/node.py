@@ -139,6 +139,7 @@ class LogNode(Node):
         backlog = self.disk.backlog_s(now)
         if backlog > self.profile.max_disk_backlog_s:
             self.sync_flush_stalls += 1
+            self.counters.add("log_sync_stalls")
             stall = backlog - self.profile.max_disk_backlog_s
         merges_before = self.buffer.merges
         self.buffer.add(record)
@@ -166,6 +167,55 @@ class LogNode(Node):
         dur = self._flush(now)
         dur += self.scheme.settle(now)
         return dur
+
+    def switch_scheme(self, name: str, now: float) -> float:
+        """Migrate the on-disk log to a different layout scheme.
+
+        The node settles first (buffer drained, lazy merges finished) so all
+        live state sits in the scheme's reserved regions; those regions are
+        then read back sequentially and replayed through the new scheme's
+        flush path, paying the new layout's write pattern.  The persisted
+        parity bytes are identical before and after (the verifier's log-replay
+        check holds across a switch).  Returns the migration's IO seconds;
+        a no-op (same scheme) costs nothing.
+        """
+        old = self.scheme
+        if name == old.name:
+            return 0.0
+        duration = self.settle(now)
+        migrated = max(1, old.disk_logical_bytes)
+        duration += self.disk.read(migrated, sequential=True, now=now + duration)
+        records: list[LogRecord] = []
+        for (sid, j), region in sorted(old.regions.items()):
+            if region.base is not None:
+                records.append(
+                    LogRecord.for_chunk(sid, j, region.base, region.base_logical)
+                )
+            for delta, logical in zip(region.deltas, region.delta_logical):
+                records.append(LogRecord.for_delta(delta, logical))
+        new_scheme = make_scheme(
+            name,
+            self.disk,
+            bytes_scale=old.bytes_scale,
+            journal=self.journal,
+            counters=self.counters,
+            node_id=self.node_id,
+        )
+        if records:
+            duration += new_scheme.flush(records, now + duration)
+            duration += new_scheme.settle(now + duration)
+        self.scheme = new_scheme
+        self.counters.add("log_scheme_switches")
+        self.journal.emit(
+            "scheme_switch",
+            node=self.node_id,
+            old=old.name,
+            new=new_scheme.name,
+            regions=len(old.regions),
+            nbytes=migrated,
+            duration_s=duration,
+        )
+        return duration
 
     def drop_stripe_parity(self, stripe_id: int, parity_index: int) -> None:
         """Release everything held for one (stripe, parity): buffered records

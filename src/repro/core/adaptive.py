@@ -35,6 +35,36 @@ from repro.ec.gf256 import gf_mul_scalar
 from repro.logstore.records import LogRecord
 
 
+def choose_log_scheme(
+    current: str,
+    sync_stalls: int,
+    random_writes: float,
+    flush_records: float,
+) -> str:
+    """Pick the log layout a struggling log node should migrate to.
+
+    The decision mirrors *Adaptive Logging*'s workload-driven layout choice,
+    driven by the two disk pathologies this simulation models:
+
+    * **Backpressure stalls** (``sync_stalls > 0``): the disk cannot keep up
+      with the flush stream, so minimise write cost -- ``pl`` turns every
+      flush into one sequential append, the cheapest write pattern of the
+      four schemes.
+    * **Random-write-heavy otherwise** (more random writes than flushed
+      records means reserved-region layouts are seeking per record):
+      ``plm``'s staging extent batches those seeks into sequential runs and
+      lazily merges, trading repair locality for write absorption.
+
+    Returns the current scheme when nothing is wrong or the node already
+    runs the preferred layout, so callers can treat "no change" as a no-op.
+    """
+    if sync_stalls > 0 and current != "pl":
+        return "pl"
+    if sync_stalls == 0 and random_writes > flush_records and current not in ("pl", "plm"):
+        return "plm"
+    return current
+
+
 class AdaptiveLogECMem(LogECMem):
     """LogECMem with popularity-driven proxy-side delta coalescing."""
 

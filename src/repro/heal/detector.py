@@ -1,0 +1,160 @@
+"""Stage 1: classify journal events + counter movement into incidents.
+
+The detector is a *pure observer* of the flight recorder: it keeps a cursor
+over the cluster journal (robust to ring eviction -- per-kind counts survive,
+so the cursor is maintained in total-emitted space) and, each poll, folds the
+fresh events into typed :class:`~repro.heal.incidents.Incident`\\ s:
+
+* ``fault_inject`` events map per fault kind -- a DRAM ``crash``/``blip``
+  becomes ``node_crash``/``node_blip``; the same faults on a *log* node
+  become ``stale_parity`` (the buffer is lost, the persisted log is stale);
+  ``slow`` -> ``straggler``, ``partition`` -> ``partition``,
+  ``stall`` -> ``disk_stall``;
+* ``stale_mark`` with reason ``missed_delta`` (an update could not reach a
+  log node) also raises ``stale_parity``;
+* log-node ``sync_flush_stalls`` counter movement between polls raises
+  ``buffer_overrun`` -- a degradation no single journal event announces.
+
+Closer events (``fault_heal``, ``repair_done``, ``stale_recover``) resolve
+matching open incidents; duplicates of an open incident are suppressed (one
+incident per (kind, node) at a time), counted under
+``heal_incidents_suppressed``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import Cluster
+from repro.heal.incidents import Incident
+
+#: fault_inject attrs["kind"] -> incident kind, for DRAM-node targets
+_DRAM_FAULT_INCIDENTS = {
+    "crash": "node_crash",
+    "blip": "node_blip",
+    "slow": "straggler",
+    "partition": "partition",
+    "stall": "disk_stall",
+}
+
+#: fault heal kind -> incident kinds it resolves
+_HEAL_RESOLVES = {
+    "blip": ("node_blip", "stale_parity"),
+    "slow": ("straggler",),
+    "partition": ("partition",),
+}
+
+
+class Detector:
+    """Folds fresh journal events and counter deltas into typed incidents."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.journal = cluster.journal
+        self.counters = cluster.counters
+        #: cursor in total-emitted-event space (survives ring eviction)
+        self._seen = sum(self.journal.counts.values())
+        #: last-seen sync_flush_stalls per log node (crash resets the field)
+        self._stall_marks = {
+            nid: node.sync_flush_stalls for nid, node in cluster.log_nodes.items()
+        }
+        self._seq = 0
+        self.open: dict[tuple[str, str], Incident] = {}
+        self.incidents: list[Incident] = []
+        self.suppressed = 0
+
+    # ------------------------------------------------------------------ polling
+
+    def _fresh_events(self):
+        """Journal events emitted since the last poll (heal_* excluded --
+        the plane must not classify its own pipeline traffic)."""
+        total = sum(self.journal.counts.values())
+        new = total - self._seen
+        self._seen = total
+        if new <= 0:
+            return []
+        retained = self.journal.events()
+        return [
+            ev
+            for ev in retained[max(0, len(retained) - new) :]
+            if not ev.kind.startswith("heal_")
+        ]
+
+    def _raise_incident(self, kind: str, node: str, now: float, **details):
+        existing = self.open.get((kind, node))
+        if existing is not None and not existing.resolved:
+            self.suppressed += 1
+            self.counters.add("heal_incidents_suppressed")
+            return None
+        inc = Incident(
+            kind=kind, node_id=node, detected_s=now, seq=self._seq, details=details
+        )
+        self._seq += 1
+        self.open[inc.key] = inc
+        self.incidents.append(inc)
+        self.counters.add("heal_incidents")
+        return inc
+
+    def _resolve(self, kinds: tuple[str, ...], node: str, now: float):
+        resolved = []
+        for kind in kinds:
+            inc = self.open.get((kind, node))
+            if inc is not None and not inc.resolved:
+                inc.resolved = True
+                inc.resolved_s = now
+                resolved.append(inc)
+        return resolved
+
+    def poll(self, now: float) -> tuple[list[Incident], list[Incident]]:
+        """Classify everything new; returns (fresh incidents, resolutions)."""
+        fresh: list[Incident] = []
+        resolved: list[Incident] = []
+        for ev in self._fresh_events():
+            kind, attrs = ev.kind, ev.attrs
+            if kind == "fault_inject":
+                node = attrs["node"]
+                fkind = attrs["kind"]
+                if node in self.cluster.log_nodes and fkind in ("crash", "blip"):
+                    ikind = "stale_parity"
+                else:
+                    ikind = _DRAM_FAULT_INCIDENTS[fkind]
+                inc = self._raise_incident(
+                    ikind,
+                    node,
+                    now,
+                    fault=fkind,
+                    at_s=ev.t_s,
+                    duration_s=attrs.get("duration_s", 0.0),
+                    magnitude=attrs.get("magnitude", 0.0),
+                )
+                if inc is not None:
+                    fresh.append(inc)
+            elif kind == "stale_mark" and attrs.get("reason") == "missed_delta":
+                inc = self._raise_incident(
+                    "stale_parity", attrs["node"], now, fault="missed_delta",
+                    at_s=ev.t_s,
+                )
+                if inc is not None:
+                    fresh.append(inc)
+            elif kind == "fault_heal":
+                resolved += self._resolve(
+                    _HEAL_RESOLVES.get(attrs.get("kind"), ()), attrs["node"], now
+                )
+            elif kind == "repair_done":
+                resolved += self._resolve(
+                    ("node_crash", "node_blip"), attrs["node"], now
+                )
+            elif kind == "stale_recover":
+                resolved += self._resolve(("stale_parity",), attrs["node"], now)
+
+        # counter-derived detection: backpressure stalls between polls
+        for nid in sorted(self.cluster.log_nodes):
+            node = self.cluster.log_nodes[nid]
+            last = self._stall_marks.get(nid, 0)
+            cur = node.sync_flush_stalls
+            self._stall_marks[nid] = cur
+            if cur > last:
+                inc = self._raise_incident(
+                    "buffer_overrun", nid, now, stalls=cur - last
+                )
+                if inc is not None:
+                    fresh.append(inc)
+        return fresh, resolved

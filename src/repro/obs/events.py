@@ -11,7 +11,10 @@ state emits an :class:`Event` into one cluster-wide :class:`EventJournal`:
 * ``cluster/node.py`` -- ``buffer_merge`` / ``buffer_drop``;
 * ``core/`` -- ``gc_pass``, ``scrub_pass``, ``repair_start`` /
   ``repair_done``, ``stale_mark`` / ``stale_recover``;
-* ``chaos/`` -- ``fault_inject`` / ``fault_heal``, ``retry`` / ``backoff``.
+* ``chaos/`` -- ``fault_inject`` / ``fault_heal``, ``retry`` / ``backoff``;
+* ``heal/`` -- ``heal_detect`` / ``heal_propose`` / ``heal_verify`` /
+  ``heal_execute`` / ``heal_rollback`` (the control-plane pipeline stages)
+  and ``scheme_switch`` (a log node migrating its on-disk layout).
 
 The journal is a bounded ring (oldest events drop first; per-kind counts
 survive eviction) stamped from the simulated clock, so a same-seed run
@@ -48,6 +51,15 @@ EVENT_KINDS = frozenset(
         "stale_recover",
         "retry",
         "backoff",
+        # self-healing control plane (repro.heal): one event per pipeline
+        # stage, so a journal slice shows detect -> propose -> verify ->
+        # execute (-> rollback) brackets for every remediation action
+        "heal_detect",
+        "heal_propose",
+        "heal_verify",
+        "heal_execute",
+        "heal_rollback",
+        "scheme_switch",
     }
 )
 

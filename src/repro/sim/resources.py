@@ -31,6 +31,12 @@ COUNTER_NAMES = frozenset(
         "gc_passes",
         "gc_stripes",
         "gc_stripes_collected",
+        "heal_actions_deferred",
+        "heal_actions_executed",
+        "heal_escalations",
+        "heal_incidents",
+        "heal_incidents_suppressed",
+        "heal_rollbacks",
         "log_appended_bytes",
         "log_buffer_appends",
         "log_buffer_drops",
@@ -41,6 +47,8 @@ COUNTER_NAMES = frozenset(
         "log_lazy_merges",
         "log_node_recoveries",
         "log_random_writes",
+        "log_scheme_switches",
+        "log_sync_stalls",
         "log_region_reads",
         "log_region_spill_extents",
         "logged_parity_disk_reads",

@@ -3,6 +3,7 @@ byte-determinism of the JSONL/Prometheus exports, fault-window timeline
 attribution, and the ``inspect`` CLI subcommand."""
 
 import json
+import math
 
 import pytest
 
@@ -219,6 +220,36 @@ def test_stall_window_closes_by_duration_and_unhealed_stays_open():
     assert not crash.closed
     assert crash.contains(99.0)
     assert crash.to_dict()["end_s"] is None
+
+
+def test_open_fault_window_clamps_to_run_end():
+    """Regression: an unhealed fault used to stay open at inf (or fall out of
+    MTTR entirely); with a horizon it clamps to run end and stays counted."""
+    from repro.analysis import mttr_s
+
+    events = [_ev(1.0, "fault_inject", kind="crash", node="dram0", duration_s=0.0)]
+    (w,) = fault_windows(events, run_end_s=3.5)
+    assert not w.healed and w.closed
+    assert w.end_s == 3.5 and w.duration_s == 2.5
+    assert w.to_dict() == {
+        "kind": "crash", "node": "dram0", "start_s": 1.0,
+        "end_s": 3.5, "healed": False,
+    }
+    assert mttr_s([w]) == 2.5
+    # without a horizon the window stays open at inf -- never dropped
+    (w2,) = fault_windows(events)
+    assert not w2.healed and not w2.closed
+    assert mttr_s([w2]) == math.inf
+    # a horizon before the fault start clamps to zero, never negative
+    (w3,) = fault_windows(events, run_end_s=0.5)
+    assert w3.duration_s == 0.0
+    # healed windows are untouched by the horizon, and MTTR averages them
+    closed = fault_windows(
+        events + [_ev(2.0, "repair_done", node="dram0", repair_time_s=1.0)],
+        run_end_s=3.5,
+    )
+    assert closed[0].healed and closed[0].end_s == 2.0
+    assert mttr_s([]) == 0.0
 
 
 def test_attribute_latency_shift():

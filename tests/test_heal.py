@@ -1,0 +1,364 @@
+"""Tests for the self-healing control plane: detector, proposer, scheduler,
+verifier, plane, and the with/without-plane experiment."""
+
+import math
+
+import pytest
+
+from repro.baselines import make_store
+from repro.bench.runner import load_store
+from repro.chaos import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    RetryPolicy,
+    check_store,
+    run_chaos,
+)
+from repro.core import StoreConfig
+from repro.core.adaptive import choose_log_scheme
+from repro.heal import (
+    ACTION_KINDS,
+    Action,
+    ActionScheduler,
+    ControlPlane,
+    INCIDENT_KINDS,
+    Incident,
+    experiment_ok,
+    run_heal_experiment,
+)
+from repro.sim.events import EventQueue
+from repro.workloads import WorkloadSpec
+
+CFG = dict(k=3, r=3, value_size=1024, scheme="plm")
+
+
+def small_store(name="logecmem", **kw):
+    return make_store(name, StoreConfig(**{**CFG, **kw}))
+
+
+def small_spec(**kw):
+    base = dict(n_objects=60, n_requests=90, seed=7,
+                read_ratio=0.5, update_ratio=0.5, value_size=1024)
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+def attached_plane(store, **kw):
+    plane = ControlPlane(**kw)
+    plane.attach(store, policy=RetryPolicy(jitter_fraction=0.0))
+    return plane
+
+
+def drive(store, plane, queue, steps=40, dt=1e-3):
+    """Advance the clock in small ticks, healing transients and polling the
+    plane, until the action queue drains (or the step budget runs out)."""
+    clock = store.cluster.clock
+    plane.poll(clock.now)
+    for _ in range(steps):
+        clock.advance(dt)
+        queue.run_until(clock.now)
+        plane.poll(clock.now)
+        if not plane.pending:
+            break
+
+
+def heal_pipeline_stages(journal, seq):
+    """The heal_* journal stages recorded for one action/incident seq."""
+    stages = []
+    for ev in journal.to_dicts():
+        if not ev["kind"].startswith("heal_") or ev["attrs"].get("seq") != seq:
+            continue
+        stage = ev["kind"]
+        if stage == "heal_verify":
+            stage += ":" + ev["attrs"]["stage"]
+        stages.append(stage)
+    return stages
+
+
+# ------------------------------------------------------------------ taxonomy
+
+
+def test_taxonomies_are_closed():
+    with pytest.raises(ValueError):
+        Incident(kind="gremlin", node_id="dram0", detected_s=0.0, seq=0)
+    with pytest.raises(ValueError):
+        Action(kind="reboot_universe", node_id="dram0", seq=0)
+    assert INCIDENT_KINDS == tuple(sorted(INCIDENT_KINDS))
+    assert ACTION_KINDS == tuple(sorted(ACTION_KINDS))
+
+
+def test_choose_log_scheme_targets():
+    # stalls push toward pure parity logging (sequential appends)
+    assert choose_log_scheme("plm", sync_stalls=3, random_writes=0,
+                             flush_records=0) == "pl"
+    assert choose_log_scheme("pl", sync_stalls=3, random_writes=0,
+                             flush_records=0) == "pl"
+    # random-write-heavy disks prefer the merge-friendly layout
+    assert choose_log_scheme("plr", sync_stalls=0, random_writes=10,
+                             flush_records=2) == "plm"
+    # nothing wrong: keep the current layout
+    assert choose_log_scheme("plm", sync_stalls=0, random_writes=0,
+                             flush_records=5) == "plm"
+
+
+# ------------------------------------------- per-fault-family incident tests
+
+
+FAMILIES = [
+    # (fault kind, target, expected incident, expected first action)
+    ("crash", "dram", "node_crash", "repair_node"),
+    ("blip", "dram", "node_blip", "observe"),
+    ("slow", "dram", "straggler", "traffic_backoff"),
+    ("partition", "dram", "partition", "traffic_backoff"),
+    ("stall", "log", "disk_stall", "scheme_switch"),
+    ("crash", "log", "stale_parity", "recover_log"),
+]
+
+
+def _fault_event(kind, node, t):
+    k = FaultKind(kind)
+    if k is FaultKind.CRASH:
+        return FaultEvent(t, k, node)
+    if k is FaultKind.SLOW:
+        return FaultEvent(t, k, node, duration_s=1e-3, magnitude=4.0)
+    return FaultEvent(t, k, node, duration_s=1e-3)
+
+
+@pytest.mark.parametrize("fault,target,incident,action", FAMILIES)
+def test_fault_family_detected_and_remediated(fault, target, incident, action):
+    store = small_store()
+    load_store(store, small_spec())
+    plane = attached_plane(store)
+    injector = FaultInjector(store.cluster)
+    queue = EventQueue()
+    clock = store.cluster.clock
+
+    node = sorted(store.cluster.dram_nodes if target == "dram"
+                  else store.cluster.log_nodes)[0]
+    injector.apply(_fault_event(fault, node, clock.now), clock.now, queue)
+    drive(store, plane, queue)
+
+    kinds = [inc.kind for inc in plane.detector.incidents]
+    assert incident in kinds, kinds
+    executed = [rec["action"]["kind"] for rec in plane.executed]
+    assert action in executed, executed
+
+    # the journal shows the full pipeline for the first action, in order
+    assert heal_pipeline_stages(store.cluster.journal, 0) == [
+        "heal_detect",
+        "heal_propose",
+        "heal_verify:pre",
+        "heal_execute",
+        "heal_verify:post",
+    ]
+    # and the store came out invariant-clean
+    assert not check_store(store).violations
+
+
+def test_buffer_overrun_detected_from_counter_movement():
+    store = small_store()
+    load_store(store, small_spec())
+    plane = attached_plane(store)
+    nid = sorted(store.cluster.log_nodes)[0]
+    store.cluster.log_nodes[nid].sync_flush_stalls += 3
+
+    drive(store, plane, EventQueue())
+
+    (inc,) = plane.detector.incidents
+    assert inc.kind == "buffer_overrun" and inc.node_id == nid
+    assert inc.details["stalls"] == 3
+    (rec,) = plane.executed
+    assert rec["action"]["kind"] == "flush_logs"
+    assert rec["result"]["status"] == "done"
+    assert heal_pipeline_stages(store.cluster.journal, 0) == [
+        "heal_detect",
+        "heal_propose",
+        "heal_verify:pre",
+        "heal_execute",
+        "heal_verify:post",
+    ]
+
+
+def test_detector_suppresses_duplicate_open_incidents():
+    store = small_store()
+    plane = attached_plane(store)
+    journal = store.cluster.journal
+    for _ in range(3):
+        journal.emit("fault_inject", kind="crash", node="dram0",
+                     duration_s=0.0, magnitude=0.0)
+    fresh, _ = plane.detector.poll(0.0)
+    assert [inc.kind for inc in fresh] == ["node_crash"]
+    assert plane.detector.suppressed == 2
+    assert store.cluster.counters["heal_incidents_suppressed"] == 2
+    # once resolved, the same fault raises a fresh incident
+    journal.emit("repair_done", node="dram0", repair_time_s=0.0)
+    journal.emit("fault_inject", kind="crash", node="dram0",
+                 duration_s=0.0, magnitude=0.0)
+    fresh, _ = plane.detector.poll(1.0)
+    assert [inc.kind for inc in fresh] == ["node_crash"]
+    assert plane.detector.suppressed == 2
+
+
+def test_blip_beyond_grace_escalates_to_repair():
+    """A blip that outlives the observation grace period turns into a full
+    repair via the observe -> escalate path."""
+    store = small_store()
+    load_store(store, small_spec())
+    plane = attached_plane(store, blip_grace_s=2e-3)
+    injector = FaultInjector(store.cluster)
+    queue = EventQueue()
+    clock = store.cluster.clock
+    victim = sorted(store.cluster.dram_nodes)[0]
+
+    injector.apply(FaultEvent(clock.now, FaultKind.BLIP, victim,
+                              duration_s=50e-3), clock.now, queue)
+    drive(store, plane, queue, steps=10)  # stop before the blip self-heals
+
+    executed = [rec["action"]["kind"] for rec in plane.executed]
+    assert executed[:2] == ["observe", "repair_node"]
+    assert store.cluster.dram_nodes[victim].alive
+    assert not check_store(store).violations
+
+
+# ------------------------------------------------------------------ scheduler
+
+
+def test_scheduler_rate_limits_releases():
+    sched = ActionScheduler(min_gap_s=1e-3)
+    for i in range(3):
+        sched.push(Action(kind="observe", node_id=f"n{i}", seq=i))
+    assert sched.next_ready(0.0).seq == 0
+    assert sched.next_ready(0.0) is None          # gap not elapsed
+    assert sched.next_ready(0.5e-3) is None
+    assert sched.next_ready(1e-3).seq == 1
+
+
+def test_scheduler_defer_keeps_slot_and_exhausts():
+    sched = ActionScheduler(min_gap_s=0.0, max_defers=2)
+    first = Action(kind="recover_log", node_id="log0", seq=0)
+    sched.push(first)
+    sched.push(Action(kind="flush_logs", node_id="log0", seq=1))
+    a = sched.next_ready(0.0)
+    assert a.seq == 0
+    assert sched.defer(a, until_s=5.0)
+    # the deferred action blocks its node: seq 1 cannot overtake seq 0
+    assert sched.next_ready(1.0) is None
+    b = sched.next_ready(5.0)
+    assert b.seq == 0
+    assert sched.defer(b, until_s=6.0)
+    c = sched.next_ready(6.0)
+    assert not sched.defer(c, until_s=7.0)        # max_defers exhausted
+
+
+# ----------------------------------------------------------------- experiment
+
+
+def test_heal_experiment_improves_mttr_and_availability():
+    doc = run_heal_experiment(n_objects=200, n_requests=200, seed=42)
+    assert experiment_ok(doc) == []
+    disabled, enabled = doc["disabled"], doc["enabled"]
+    assert disabled["faults_fired"] == enabled["faults_fired"]
+    assert disabled["faults_fired"].get("crash", 0) > 0
+    assert enabled["mttr_ms"] < disabled["mttr_ms"]
+    assert enabled["availability_pct"] > disabled["availability_pct"]
+    assert enabled["violations"] == 0
+    assert math.isfinite(enabled["mttr_ms"])
+
+    # acceptance: every executed action is bracketed by passing verifications
+    events = doc["reports"]["enabled"].events
+    heal = [e for e in events if e["kind"].startswith("heal_")]
+    for ev in heal:
+        if ev["kind"] != "heal_execute":
+            continue
+        seq = ev["attrs"]["seq"]
+        idx = heal.index(ev)
+        pre = [e for e in heal[:idx]
+               if e["kind"] == "heal_verify" and e["attrs"]["seq"] == seq
+               and e["attrs"]["stage"] == "pre"]
+        post = [e for e in heal[idx:]
+                if e["kind"] == "heal_verify" and e["attrs"]["seq"] == seq
+                and e["attrs"]["stage"] == "post"]
+        assert pre and pre[-1]["attrs"]["ok"], ev
+        assert post and post[0]["attrs"]["ok"], ev
+
+
+def test_heal_experiment_deterministic():
+    kw = dict(n_objects=120, n_requests=120, seed=9)
+    a = run_heal_experiment(**kw)
+    b = run_heal_experiment(**kw)
+    for arm in ("disabled", "enabled"):
+        assert a[arm]["fingerprint"] == b[arm]["fingerprint"]
+    a.pop("reports")
+    b.pop("reports")
+    assert a == b
+
+
+def test_run_chaos_control_plane_forces_open_loop_repair_off():
+    store = small_store()
+    plane = ControlPlane()
+    report = run_chaos(store, small_spec(), expected_faults=3.0,
+                       repair=True, control_plane=plane)
+    # the plane owns remediation: the harness's own repair loop must not run
+    assert report.heal["actions_proposed"] == len(plane.proposer.proposed)
+    assert report.mttr_s >= 0.0
+    assert report.violations == 0
+
+
+def test_plane_attach_is_single_use():
+    store = small_store()
+    plane = attached_plane(store)
+    with pytest.raises(RuntimeError):
+        plane.attach(store)
+    with pytest.raises(ValueError):
+        run_heal_experiment(n_objects=30, n_requests=30, plane=plane)
+
+
+def test_cli_heal_subcommand(tmp_path):
+    from repro.cli import main
+
+    out_path = tmp_path / "heal.json"
+    lines = []
+    rc = main(
+        ["heal", "--objects", "200", "--requests", "200", "--report",
+         "--out", str(out_path)],
+        out=lines.append,
+    )
+    assert rc == 0
+    text = "\n".join(str(x) for x in lines)
+    assert "closed-loop resilience" in text
+    assert "MTTR improvement" in text
+    assert "executed actions (verification-bracketed)" in text
+    import json
+
+    doc = json.loads(out_path.read_text())
+    assert "reports" not in doc
+    assert doc["enabled"]["mttr_ms"] < doc["disabled"]["mttr_ms"]
+
+
+# ------------------------------------------------------------- scheme switch
+
+
+def test_switch_scheme_preserves_replayable_parity():
+    store = small_store()
+    spec = small_spec(read_ratio=0.2, update_ratio=0.8)
+    load_store(store, spec)
+    from repro.bench.runner import run_requests
+    from repro.workloads import generate_requests
+    run_requests(store, generate_requests(spec), spec)
+
+    clock = store.cluster.clock
+    nid = sorted(store.cluster.log_nodes)[0]
+    node = store.cluster.log_nodes[nid]
+    before = store.cluster.counters["log_scheme_switches"]
+    assert node.scheme.name == "plm"
+    duration = node.switch_scheme("pl", clock.now)
+    assert node.scheme.name == "pl"
+    assert duration > 0.0
+    assert store.cluster.counters["log_scheme_switches"] == before + 1
+    (ev,) = store.cluster.journal.of_kind("scheme_switch")
+    assert ev.attrs["node"] == nid and ev.attrs["new"] == "pl"
+    # the migrated log still replays to the up-to-date parity encode
+    assert not check_store(store).violations
+    # switching to the current layout is free
+    assert node.switch_scheme("pl", clock.now) == 0.0
