@@ -1,14 +1,19 @@
 """Extension: closed-loop DES throughput, complementing Figure 10(e,f).
 
 The analytic throughput estimate ignores queueing; this bench replays each
-system's recorded per-op demands through the closed-loop simulator and
-reports achieved throughput plus proxy CPU/NIC utilisation, at two client
-concurrencies."""
+system's recorded per-op demands through the concurrent discrete-event
+engine (:func:`repro.engine.compat.simulate_engine`, the port of the legacy
+closed-loop simulator) and reports achieved throughput plus proxy CPU/NIC
+utilisation, at two client concurrencies.  A C=1 point per store checks the
+engine's compatibility mode against the legacy arithmetic."""
+
+import pytest
 
 from repro.analysis import format_table
 from repro.baselines import make_store
-from repro.bench.runner import run_workload, simulate_closed_loop
+from repro.bench.runner import run_workload
 from repro.core.config import StoreConfig
+from repro.engine.compat import simulate_demands, simulate_engine
 from repro.workloads import WorkloadSpec
 
 STORES = ("vanilla", "replication", "ipmem", "fsmem", "logecmem")
@@ -17,17 +22,20 @@ N = 800
 
 def _run():
     out = {}
+    legacy_serial = {}
     spec = WorkloadSpec.read_write("50:50", n_objects=N, n_requests=N, seed=8)
     for name in STORES:
         store = make_store(name, StoreConfig(k=10, r=4))
         result = run_workload(store, spec, record_demands=True)
-        for conc in (8, 64):
-            out[(name, conc)] = simulate_closed_loop(store, result, concurrency=conc)
-    return out
+        profile = store.cfg.profile
+        for conc in (1, 8, 64):
+            out[(name, conc)] = simulate_engine(result.demands, profile, conc)
+        legacy_serial[name] = simulate_demands(result.demands, profile, 1)
+    return out, legacy_serial
 
 
 def test_ext_closedloop_throughput(benchmark, show):
-    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out, legacy_serial = benchmark.pedantic(_run, rounds=1, iterations=1)
     rows = []
     for name in STORES:
         for conc in (8, 64):
@@ -40,9 +48,17 @@ def test_ext_closedloop_throughput(benchmark, show):
     show(format_table(
         ["store", "clients", "Kops/s", "proxy CPU", "proxy NIC", "response us"],
         rows,
-        title="Extension: closed-loop throughput, (10,4), r:w=50:50",
+        title="Extension: engine closed-loop throughput, (10,4), r:w=50:50",
     ))
     for name in STORES:
+        # C=1 compatibility: the engine serialises exactly like the legacy
+        # model when nothing contends
+        eng, legacy = out[(name, 1)], legacy_serial[name]
+        assert eng.operations == legacy.operations
+        assert eng.makespan_s == pytest.approx(legacy.makespan_s, rel=1e-9)
+        assert eng.throughput_ops_s == pytest.approx(
+            legacy.throughput_ops_s, rel=1e-9
+        )
         # more clients, more throughput (until a resource saturates)
         assert out[(name, 64)].throughput_ops_s >= out[(name, 8)].throughput_ops_s
     # Figure 10(e,f)'s ordering survives queueing: Vanilla >= EC >= 5-way

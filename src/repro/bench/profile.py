@@ -17,7 +17,10 @@ Covered slices:
   the logged-parity escalation (Figure 14 c-d);
 * ``exp7`` -- node repair with and without log-assist (Figure 15);
 * ``heal`` -- the closed-loop control-plane experiment: MTTR/availability
-  with and without the plane, plus the plane's own action counts.
+  with and without the plane, plus the plane's own action counts;
+* ``load`` -- the concurrent engine's load curve at two client counts:
+  throughput, tail quantiles, rejects, flush/backpressure activity and the
+  knee indicators, so queueing-behaviour regressions gate like latency ones.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from repro.heal import run_heal_experiment
 from repro.obs import init_observability
 from repro.workloads import WorkloadSpec, generate_requests
 
-PROFILE_EXPERIMENTS = ("exp1", "exp2", "exp6", "exp7", "heal")
+PROFILE_EXPERIMENTS = ("exp1", "exp2", "exp6", "exp7", "heal", "load")
 
 ALL_STORES = ("vanilla", "replication", "ipmem", "fsmem", "logecmem")
 EC_STORES = ("ipmem", "fsmem", "logecmem")
@@ -180,12 +183,48 @@ def profile_heal(n_objects: int, n_requests: int, seed: int) -> dict:
     return {"logecmem": out}
 
 
+def profile_load(n_objects: int, n_requests: int, seed: int) -> dict:
+    """Concurrent-engine load curve: one unloaded and one contended point.
+
+    Integer leaves (completions, rejects, flushes, stalls) gate exactly;
+    throughput and the tail quantiles gate on relative thresholds, so a
+    queueing regression in the engine (or a cost-model change that moves the
+    knee) fails ``python -m repro compare`` like any latency slide.
+    """
+    from repro.engine.load import run_load
+
+    doc = run_load(
+        n_objects=n_objects, n_requests=n_requests, seed=seed,
+        concurrencies=(1, 16),
+    )
+    out: dict = {}
+    for pt in doc["curve"]:
+        bp = pt["backpressure"]
+        out[f"c{pt['concurrency']}"] = {
+            "jobs_completed": pt["jobs_completed"],
+            "jobs_rejected": pt["jobs_rejected"],
+            "throughput_ops_s": pt["throughput_ops_s"],
+            "p50_us": pt["overall"]["p50_us"],
+            "p99_us": pt["overall"]["p99_us"],
+            "max_us": pt["overall"]["max_us"],
+            "flushes": sum(b["flushes"] for b in bp.values()),
+            "write_stalls": sum(b["write_stalls"] for b in bp.values()),
+        }
+    knee = doc["knee"]
+    out["knee"] = {
+        "p99_amplification": knee["p99_amplification"],
+        "hi_over_peak": knee["hi_over_peak"],
+    }
+    return {"logecmem": out}
+
+
 PROFILE_FUNCS = {
     "exp1": profile_exp1,
     "exp2": profile_exp2,
     "exp6": profile_exp6,
     "exp7": profile_exp7,
     "heal": profile_heal,
+    "load": profile_load,
 }
 
 

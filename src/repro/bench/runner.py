@@ -14,7 +14,7 @@ from statistics import median, pstdev
 
 from repro.core.interface import KVStore
 from repro.obs import init_observability
-from repro.sim.closedloop import ClosedLoopResult, OpDemand, simulate
+from repro.sim.closedloop import ClosedLoopResult, OpDemand
 from repro.workloads.ycsb import (
     Operation,
     Request,
@@ -196,7 +196,9 @@ def simulate_closed_loop(
     """
     if not result.demands:
         raise ValueError("run the workload with record_demands=True first")
-    return simulate(result.demands, store.cfg.profile, concurrency)
+    from repro.engine.compat import simulate_demands
+
+    return simulate_demands(result.demands, store.cfg.profile, concurrency)
 
 
 def measure_degraded_reads(

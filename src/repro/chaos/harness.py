@@ -30,7 +30,7 @@ from repro.chaos.invariants import InvariantReport, check_store
 from repro.chaos.policy import OpOutcome, RetryPolicy, RobustProxy
 from repro.chaos.schedule import FaultEvent, FaultKind, FaultSchedule
 from repro.core.interface import DataLossError, KVStore
-from repro.sim.closedloop import OpDemand, simulate
+from repro.sim.closedloop import OpDemand
 from repro.sim.events import EventQueue
 from repro.workloads.ycsb import WorkloadSpec, generate_requests
 
@@ -424,7 +424,11 @@ class ChaosRun:
             makespan_s=makespan,
         )
         if self.demands:
-            cl = simulate(self.demands, profile)
+            # deferred import: repro.engine.core pulls in chaos.schedule, so a
+            # module-level import here would close an import cycle
+            from repro.engine.compat import simulate_demands
+
+            cl = simulate_demands(self.demands, profile)
             report.throughput_ops_s = cl.throughput_ops_s
             report.mean_response_s = cl.mean_response_s
         # invariants last: the checkers reuse the real read/repair machinery,

@@ -126,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=["exp1", "exp2", "exp6", "exp7", "heal", "all"],
+        choices=["exp1", "exp2", "exp6", "exp7", "heal", "load", "all"],
         help="which profile slice to run ('all' = every slice)",
     )
     p.add_argument("--objects", type=int, default=600)
@@ -137,6 +137,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_PR3.json",
         help="perf-snapshot path (default: BENCH_PR3.json)",
     )
+
+    p = sub.add_parser(
+        "load",
+        help="concurrent-engine load curves: throughput vs latency across "
+        "closed-loop client concurrencies (optionally under chaos)",
+    )
+    p.add_argument("--store", default="logecmem",
+                   choices=["vanilla", "replication", "ipmem", "fsmem", "logecmem"])
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default="50:50", help="read:update ratio")
+    p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
+    p.add_argument("--value-size", type=int, default=4096)
+    p.add_argument("--concurrency", default="1,4,16,64",
+                   help="comma-separated closed-loop client counts")
+    p.add_argument("--think-us", type=float, default=0.0,
+                   help="per-client think time between ops (microseconds)")
+    p.add_argument("--window", type=int, default=0,
+                   help="admission window (in-flight cap at the proxy; "
+                   "0 = unbounded)")
+    p.add_argument("--queue-cap", type=int, default=128,
+                   help="admission overflow queue capacity (beyond it, "
+                   "deterministic reject)")
+    p.add_argument("--chaos", action="store_true",
+                   help="also run each point under a seeded fault schedule "
+                   "and attribute latency to fault windows")
+    p.add_argument("--faults", type=_positive_float, default=4.0,
+                   help="expected fault arrivals per point when --chaos is set")
+    _add_scale(p)
 
     p = sub.add_parser(
         "chaos", help="workload under a seeded fault schedule + invariant sweep"
@@ -425,6 +453,45 @@ def cmd_profile(args, out) -> None:
     out(f"perf snapshot written to {path}")
 
 
+def cmd_load(args, out) -> None:
+    """Engine load curves; byte-deterministic JSON with --out."""
+    from repro.engine.load import load_json, render_load, run_load
+
+    try:
+        concurrencies = tuple(
+            int(x) for x in str(args.concurrency).split(",") if x.strip()
+        )
+    except ValueError:
+        raise SystemExit(
+            f"--concurrency must be comma-separated ints, got {args.concurrency!r}"
+        ) from None
+    if not concurrencies or any(c < 1 for c in concurrencies):
+        raise SystemExit(f"--concurrency needs values >= 1, got {args.concurrency!r}")
+    k, r = args.code
+    doc = run_load(
+        store_name=args.store,
+        scheme=args.scheme,
+        k=k,
+        r=r,
+        value_size=args.value_size,
+        ratio=args.ratio,
+        n_objects=args.objects,
+        n_requests=args.requests,
+        seed=args.seed,
+        concurrencies=concurrencies,
+        think_s=args.think_us * 1e-6,
+        window=args.window if args.window > 0 else None,
+        queue_cap=args.queue_cap,
+        expected_faults=args.faults if args.chaos else 0.0,
+    )
+    out(render_load(doc))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(load_json(doc))
+        out(f"load curve written to {args.out}")
+
+
 def cmd_chaos(args, out) -> None:
     from repro.chaos import run_chaos
 
@@ -710,6 +777,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "tradeoff": cmd_tradeoff,
         "report": cmd_report,
         "run": cmd_run,
+        "load": cmd_load,
         "profile": cmd_profile,
         "chaos": cmd_chaos,
         "heal": cmd_heal,

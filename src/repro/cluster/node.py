@@ -126,6 +126,25 @@ class LogNode(Node):
         #: must be rebuilt via recover_log_node before it is read again
         self.needs_recovery = False
 
+    @property
+    def high_water_bytes(self) -> int:
+        """Occupancy (bytes) past which this node signals backpressure."""
+        return int(self.profile.log_buffer_bytes * self.profile.log_high_water_fraction)
+
+    def backpressure(self, now: float) -> dict:
+        """The occupancy signal exported upstream (engine / admission gate).
+
+        ``above_high_water`` is the write-stall trigger; ``disk_backlog_s``
+        the flush-stall trigger (``append`` already enforces the latter on
+        the critical path).  Both are pure reads -- exporting the signal
+        never perturbs the state being measured."""
+        return {
+            "buffered_bytes": self.buffer.logical_bytes,
+            "occupancy": self.buffer.occupancy(),
+            "above_high_water": self.buffer.logical_bytes >= self.high_water_bytes,
+            "disk_backlog_s": self.disk.backlog_s(now),
+        }
+
     # -- write path -----------------------------------------------------------
 
     def append(self, record: LogRecord, now: float) -> float:

@@ -1,0 +1,95 @@
+"""Proxy admission control: a bounded in-flight window with queue-or-reject.
+
+The proxy admits at most ``window`` jobs into the service stations at once.
+A job arriving at a full window waits in a FIFO admission queue of capacity
+``queue_cap``; past that it is **rejected** deterministically -- the closed
+loop's client moves on to its next request and the rejection is counted (the
+load curve reports goodput, not offered load).  ``window=None`` disables the
+gate (pure closed-loop, inflight bounded by client concurrency alone).
+
+Admission wait counts toward a job's response time: the knee the load curves
+show past the window is queueing *at the proxy door*, which is exactly what
+an operator tunes the window against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.engine.jobs import JobTrace
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Gate sizing; ``window=None`` means unbounded (gate disabled)."""
+
+    window: int | None = None
+    queue_cap: int = 128
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window < 1:
+            raise ValueError(f"admission window must be >= 1, got {self.window}")
+        if self.queue_cap < 0:
+            raise ValueError(f"queue_cap must be >= 0, got {self.queue_cap}")
+
+
+class AdmissionGate:
+    """Deterministic bounded-window admission with a FIFO overflow queue."""
+
+    def __init__(self, config: AdmissionConfig):
+        self.config = config
+        self.inflight = 0
+        self.queue: deque[JobTrace] = deque()
+        self.admitted = 0
+        self.queued = 0
+        self.rejected = 0
+        self.max_inflight = 0
+        self.max_queue = 0
+        self.total_queue_wait_s = 0.0
+
+    def offer(self, trace: JobTrace) -> str:
+        """Present one job; returns ``"admit"``, ``"queue"`` or ``"reject"``."""
+        window = self.config.window
+        if window is None or self.inflight < window:
+            self._admit()
+            return "admit"
+        if len(self.queue) < self.config.queue_cap:
+            self.queue.append(trace)
+            self.queued += 1
+            if len(self.queue) > self.max_queue:
+                self.max_queue = len(self.queue)
+            return "queue"
+        self.rejected += 1
+        return "reject"
+
+    def _admit(self) -> None:
+        self.inflight += 1
+        self.admitted += 1
+        if self.inflight > self.max_inflight:
+            self.max_inflight = self.inflight
+
+    def release(self, now: float) -> JobTrace | None:
+        """A job finished: free its window slot and admit the queue head."""
+        self.inflight -= 1
+        if not self.queue:
+            return None
+        trace = self.queue.popleft()
+        wait = now - trace.issued_s
+        trace.admission_wait_s = wait
+        self.total_queue_wait_s += wait
+        self._admit()
+        return trace
+
+    def stats(self) -> dict:
+        """Deterministic summary for the load-curve JSON."""
+        return {
+            "window": self.config.window,
+            "queue_cap": self.config.queue_cap,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "queue_wait_s_total": round(self.total_queue_wait_s, 9),
+        }

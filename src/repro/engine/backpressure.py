@@ -1,0 +1,114 @@
+"""Log-node buffer occupancy and the backpressure it exerts upstream.
+
+Mirrors the byte accounting of :class:`repro.logstore.buffer.LogBuffer` (same
+capacity / flush-threshold knobs from the hardware profile, same
+occupancy-fraction signal the log nodes export) as engine state the event
+loop can evolve: update jobs append parity-delta bytes, flushes drain them
+through the log node's disk station, and two pressure levels propagate
+upstream:
+
+* **flush stall** -- when the disk's queued backlog exceeds
+  ``max_disk_backlog_s``, pending flushes defer until it drains (the same
+  bounded-crash-consistency rule ``LogNode.append`` enforces), so buffered
+  bytes keep accumulating against the capacity;
+* **write stall** -- past the high-water mark
+  (``log_high_water_fraction * capacity``), *client writes* park on the
+  buffer until a flush completion brings occupancy back down; the wait is
+  charged to the job's response time.  This is the path by which a stalled
+  or slow log disk amplifies client tail latency, which the chaos-enabled
+  load runs measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.jobs import JobTrace
+from repro.sim.params import HardwareProfile
+
+
+class LogBufferModel:
+    """One log node's buffer occupancy + the jobs it is stalling."""
+
+    __slots__ = (
+        "node_id",
+        "capacity_bytes",
+        "flush_threshold_bytes",
+        "high_water_bytes",
+        "nbytes",
+        "flush_inflight",
+        "waiters",
+        "peak_bytes",
+        "flushes",
+        "flush_deferrals",
+        "flushed_bytes",
+        "stalls",
+        "high_water_crossings",
+        "pressured",
+    )
+
+    def __init__(self, node_id: str, profile: HardwareProfile):
+        self.node_id = node_id
+        self.capacity_bytes = profile.log_buffer_bytes
+        self.flush_threshold_bytes = profile.log_flush_threshold_bytes
+        self.high_water_bytes = int(
+            profile.log_buffer_bytes * profile.log_high_water_fraction
+        )
+        self.nbytes = 0
+        self.flush_inflight = False
+        #: write jobs parked here until occupancy drops below high water
+        self.waiters: deque[JobTrace] = deque()
+        self.peak_bytes = 0
+        self.flushes = 0
+        self.flush_deferrals = 0
+        self.flushed_bytes = 0
+        self.stalls = 0
+        self.high_water_crossings = 0
+        self.pressured = False  # currently above high water (edge-detected)
+
+    def occupancy(self) -> float:
+        """Buffered fraction of capacity, like ``LogBuffer.occupancy``."""
+        return self.nbytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+    def append(self, nbytes: int) -> None:
+        self.nbytes += nbytes
+        if self.nbytes > self.peak_bytes:
+            self.peak_bytes = self.nbytes
+        if self.above_high_water() and not self.pressured:
+            self.pressured = True
+            self.high_water_crossings += 1
+
+    def should_flush(self) -> bool:
+        return self.nbytes >= self.flush_threshold_bytes and not self.flush_inflight
+
+    def above_high_water(self) -> bool:
+        return self.nbytes >= self.high_water_bytes
+
+    def drained(self, nbytes: int) -> None:
+        """A flush of ``nbytes`` completed."""
+        self.nbytes = max(0, self.nbytes - nbytes)
+        self.flush_inflight = False
+        self.flushes += 1
+        self.flushed_bytes += nbytes
+        if not self.above_high_water():
+            self.pressured = False
+
+    def stats(self) -> dict:
+        """Deterministic summary for the load-curve JSON."""
+        return {
+            "peak_bytes": self.peak_bytes,
+            "peak_occupancy": round(
+                self.peak_bytes / self.capacity_bytes if self.capacity_bytes else 0.0, 6
+            ),
+            "flushes": self.flushes,
+            "flush_deferrals": self.flush_deferrals,
+            "flushed_bytes": self.flushed_bytes,
+            "write_stalls": self.stalls,
+            "high_water_crossings": self.high_water_crossings,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogBufferModel({self.node_id!r}, {self.nbytes}B, "
+            f"occ={self.occupancy():.2f}, waiters={len(self.waiters)})"
+        )

@@ -1,0 +1,135 @@
+"""Compatibility layer between the legacy closed-loop model and the engine.
+
+The original :func:`repro.sim.closedloop.simulate` drove recorded
+:class:`~repro.sim.closedloop.OpDemand`\\ s through two shared resources
+(proxy CPU then proxy NIC) with closed-loop clients.  Its numbers feed
+committed goldens (the heal slice's chaos fingerprints in BENCH_PR3.json
+depend on them), so the arithmetic lives on here **byte-identical** as
+:func:`simulate_demands`; ``closedloop.simulate`` is now a deprecation shim
+over it.
+
+``demands_to_jobs`` re-expresses the same demands as engine
+:class:`~repro.engine.jobs.JobSpec`\\ s (CPU stage -> NIC stage -> overlap
+delay), and :func:`simulate_engine` runs them through the concurrent engine
+and folds the result back into a :class:`ClosedLoopResult` -- the form the
+``benchmarks/`` callers consume.  The two models agree qualitatively (same
+saturation behaviour) but not bit-for-bit: the legacy model processes ops in
+*list* order while the engine processes them in *event* order, which is the
+honest concurrent semantics.  New code should use the engine; this module is
+the bridge.
+"""
+
+from __future__ import annotations
+
+from repro.engine.admission import AdmissionConfig
+from repro.engine.core import Engine, EngineConfig
+from repro.engine.jobs import JobSpec, Stage
+from repro.sim.closedloop import ClosedLoopResult, OpDemand
+from repro.sim.params import HardwareProfile
+from repro.sim.resources import Resource
+
+
+def simulate_demands(
+    demands: list[OpDemand],
+    profile: HardwareProfile,
+    concurrency: int | None = None,
+) -> ClosedLoopResult:
+    """The legacy closed-loop arithmetic, preserved byte-identically.
+
+    Operations are dealt to clients round-robin *in list order*; a client
+    issues its next operation the moment the previous one completes.
+    Completion = NIC-done + remote_s; the CPU and NIC each process one op at
+    a time.  An empty demand list is a zero-length run, not an error.
+    """
+    if not demands:
+        return ClosedLoopResult(
+            operations=0,
+            makespan_s=0.0,
+            throughput_ops_s=0.0,
+            mean_response_s=0.0,
+            cpu_utilisation=0.0,
+            nic_utilisation=0.0,
+        )
+    c = profile.client_concurrency if concurrency is None else concurrency
+    if c < 1:
+        raise ValueError(f"concurrency must be >= 1, got {c}")
+    cpu = Resource("proxy-cpu")
+    nic = Resource("proxy-nic")
+    client_free = [0.0] * min(c, len(demands))
+    makespan = 0.0
+    total_response = 0.0
+    for i, op in enumerate(demands):
+        client = i % len(client_free)
+        arrival = client_free[client]
+        cpu_done = cpu.reserve(arrival, op.cpu_s)
+        nic_done = nic.reserve(cpu_done, op.nic_bytes / profile.net_bandwidth_Bps)
+        completion = nic_done + op.remote_s
+        client_free[client] = completion
+        total_response += completion - arrival
+        if completion > makespan:
+            makespan = completion
+    n = len(demands)
+    return ClosedLoopResult(
+        operations=n,
+        makespan_s=makespan,
+        throughput_ops_s=n / makespan if makespan > 0 else float("inf"),
+        mean_response_s=total_response / n,
+        cpu_utilisation=cpu.utilisation(makespan),
+        nic_utilisation=nic.utilisation(makespan),
+    )
+
+
+def demands_to_jobs(
+    demands: list[OpDemand], profile: HardwareProfile
+) -> list[JobSpec]:
+    """One engine job per demand: proxy CPU stage, proxy NIC stage, then the
+    overlappable remote remainder as a pure delay."""
+    jobs: list[JobSpec] = []
+    for d in demands:
+        stages: list[Stage] = []
+        if d.cpu_s > 0:
+            stages.append(Stage("proxy_cpu", d.cpu_s))
+        nic_s = d.nic_bytes / profile.net_bandwidth_Bps
+        if nic_s > 0:
+            stages.append(Stage("proxy_nic", nic_s))
+        if d.remote_s > 0:
+            stages.append(Stage("delay", d.remote_s))
+        jobs.append(JobSpec(op="op", stages=tuple(stages)))
+    return jobs
+
+
+def simulate_engine(
+    demands: list[OpDemand],
+    profile: HardwareProfile,
+    concurrency: int | None = None,
+) -> ClosedLoopResult:
+    """Run recorded demands through the concurrent engine; legacy result shape.
+
+    This is what the ``benchmarks/`` closed-loop callers use now: same
+    demands, same closed-loop client model, but served by the engine's event
+    loop (so it composes with admission control, faults and backpressure when
+    callers want them).
+    """
+    c = profile.client_concurrency if concurrency is None else concurrency
+    if c < 1:
+        raise ValueError(f"concurrency must be >= 1, got {c}")
+    if not demands:
+        return simulate_demands(demands, profile, concurrency)
+    jobs = demands_to_jobs(demands, profile)
+    cfg = EngineConfig(
+        concurrency=min(c, len(jobs)), admission=AdmissionConfig(window=None)
+    )
+    result = Engine(jobs, profile, cfg).run()
+    cpu = result.stations.get("proxy_cpu", {})
+    nic = result.stations.get("proxy_nic", {})
+    mean_us = result.overall.get("mean_us", 0.0)
+    return ClosedLoopResult(
+        operations=result.jobs_completed,
+        makespan_s=result.makespan_s,
+        throughput_ops_s=(
+            result.throughput_ops_s if result.makespan_s > 0 else float("inf")
+        ),
+        mean_response_s=mean_us / 1e6,
+        cpu_utilisation=cpu.get("utilisation", 0.0),
+        nic_utilisation=nic.get("utilisation", 0.0),
+    )

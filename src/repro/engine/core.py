@@ -1,0 +1,461 @@
+"""The concurrent discrete-event engine: N closed-loop clients over stations.
+
+This is the piece that turns the repo's per-op cost models into a *loaded
+system*.  ``N`` closed-loop clients (optionally with think time) pull jobs
+from one deterministic job stream; each job passes the proxy admission gate,
+then walks its stages through FIFO service stations
+(:mod:`repro.engine.stations`); update jobs additionally append parity-delta
+bytes to log-node buffer models whose flushes occupy the log disks and whose
+occupancy pushes back on clients (:mod:`repro.engine.backpressure`).  Faults
+from a :class:`~repro.chaos.schedule.FaultSchedule` open windows that slow or
+stall stations mid-run, and every notable transition lands in an
+:class:`~repro.obs.events.EventJournal` using the same ``fault_inject`` /
+``fault_heal`` kinds the chaos harness emits -- so
+:mod:`repro.analysis.timeline` attributes engine tail latency to fault
+windows with zero new code.
+
+Single-request costing is the ``concurrency=1`` special case: with one
+client and no faults, every station is idle on arrival and a job's response
+time equals its stage total, i.e. the store's original latency.  Everything
+beyond C=1 -- queueing delay, saturation knees, admission waits,
+backpressure stalls -- emerges from contention, never from re-costing.
+
+Determinism: one :class:`~repro.sim.events.EventQueue` drives the run; ties
+break by schedule order, iteration is over insertion-/sorted-order
+structures only, and the result serialises with sorted keys and rounded
+floats -- same jobs, same config, same bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.chaos.schedule import FaultEvent, FaultKind
+from repro.engine.admission import AdmissionConfig, AdmissionGate
+from repro.engine.backpressure import LogBufferModel
+from repro.engine.jobs import JobSpec, JobTrace
+from repro.engine.stations import Station
+from repro.obs.events import EventJournal
+from repro.obs.span import Span
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.sim.params import HardwareProfile
+from repro.sim.resources import Counters
+
+
+def exact_quantile(sorted_values: list[float], q: float) -> float:
+    """Exact order-statistic quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One engine run's knobs."""
+
+    concurrency: int = 32
+    think_s: float = 0.0
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: DRAM/log crash faults stall their stations this long (engine-level
+    #: stand-in for the repair pipeline the chaos harness runs for real)
+    repair_delay_s: float = 5e-3
+    #: keep span trees for the first N completed jobs (0 disables tracing)
+    trace_jobs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.think_s < 0:
+            raise ValueError(f"think_s must be >= 0, got {self.think_s}")
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run measured."""
+
+    concurrency: int
+    think_s: float
+    jobs_total: int = 0
+    jobs_completed: int = 0
+    jobs_rejected: int = 0
+    makespan_s: float = 0.0
+    throughput_ops_s: float = 0.0
+    overall: dict = field(default_factory=dict)
+    ops: dict = field(default_factory=dict)
+    stations: dict = field(default_factory=dict)
+    admission: dict = field(default_factory=dict)
+    backpressure: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    #: acked jobs as ``(issued_s, response_s, op)`` -- the exact shape
+    #: ``analysis.timeline.attribute_latency`` consumes
+    samples: list = field(default_factory=list)
+    #: journal events (dict form) for fault-window attribution
+    events: list = field(default_factory=list)
+    #: span trees of the first ``trace_jobs`` completed jobs
+    spans: list = field(default_factory=list)
+
+    def to_dict(self, include_events: bool = False) -> dict:
+        """Deterministic JSON-ready form (sorted keys happen at dump time)."""
+        doc = {
+            "concurrency": self.concurrency,
+            "think_s": round(self.think_s, 9),
+            "jobs_total": self.jobs_total,
+            "jobs_completed": self.jobs_completed,
+            "jobs_rejected": self.jobs_rejected,
+            "makespan_s": round(self.makespan_s, 9),
+            "throughput_ops_s": round(self.throughput_ops_s, 3),
+            "overall": self.overall,
+            "ops": self.ops,
+            "stations": self.stations,
+            "admission": self.admission,
+            "backpressure": self.backpressure,
+            "counters": {k: round(v, 6) for k, v in sorted(self.counters.items())},
+        }
+        if include_events:
+            doc["events"] = self.events
+        return doc
+
+
+class Engine:
+    """Deterministic concurrent simulation of one job stream."""
+
+    def __init__(
+        self,
+        jobs: list[JobSpec],
+        profile: HardwareProfile,
+        config: EngineConfig | None = None,
+        faults: list[FaultEvent] | None = None,
+        journal: EventJournal | None = None,
+    ):
+        self.jobs = list(jobs)
+        self.profile = profile
+        self.config = config if config is not None else EngineConfig()
+        self.faults = sorted(
+            faults or (), key=lambda e: (e.time_s, e.node_id, e.kind.value)
+        )
+        self.clock = SimClock()
+        self.counters = Counters()
+        self.journal = (
+            journal
+            if journal is not None
+            else EventJournal(self.clock, self.counters, capacity=8192)
+        )
+        self.gate = AdmissionGate(self.config.admission)
+        self.queue = EventQueue()
+        self.stations: dict[str, Station] = {}
+        self.buffers: dict[str, LogBufferModel] = {}
+        # pre-create every station/buffer the job stream or schedule can
+        # touch, so fault windows apply by name even before first use
+        for spec in self.jobs:
+            for stage in spec.stages:
+                if stage.station != "delay":
+                    self._station(stage.station)
+            for nid in spec.log_nodes:
+                self._buffer(nid)
+        for ev in self.faults:
+            self._station(f"nic:{ev.node_id}")
+        self._cursor = 0
+        self._samples: list[tuple[float, float, str]] = []
+        self._per_op: dict[str, list[float]] = {}
+        self._spans: deque[Span] = deque(maxlen=max(1, self.config.trace_jobs))
+        self._completed = 0
+        self._rejected = 0
+        self._last_completion_s = 0.0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _station(self, name: str) -> Station:
+        st = self.stations.get(name)
+        if st is None:
+            st = self.stations[name] = Station(name)
+        return st
+
+    def _buffer(self, node_id: str) -> LogBufferModel:
+        buf = self.buffers.get(node_id)
+        if buf is None:
+            buf = self.buffers[node_id] = LogBufferModel(node_id, self.profile)
+            self._station(f"disk:{node_id}")
+        return buf
+
+    # ------------------------------------------------------------ job flow
+
+    def _issue(self, client: int, now: float) -> None:
+        if self._cursor >= len(self.jobs):
+            return  # stream exhausted: the client retires
+        spec = self.jobs[self._cursor]
+        self._cursor += 1
+        trace = JobTrace(spec=spec, client=client, issued_s=now)
+        verdict = self.gate.offer(trace)
+        if verdict == "admit":
+            self._start(trace, now)
+        elif verdict == "reject":
+            self._rejected += 1
+            self.counters.add("engine_jobs_rejected")
+            self.journal.emit("engine_reject", op=spec.op, client=client)
+            # the closed loop moves on: this client's next request issues
+            # after think time, the rejected op is lost (goodput accounting)
+            self.queue.schedule(
+                now + self.config.think_s, lambda t, c=client: self._issue(c, t)
+            )
+        # "queue": parked at the gate; release() restarts it FIFO
+
+    def _start(self, trace: JobTrace, now: float) -> None:
+        trace.admitted_s = now
+        spec = trace.spec
+        if spec.log_bytes:
+            for nid in spec.log_nodes:
+                buf = self._buffer(nid)
+                if buf.above_high_water():
+                    # backpressure: the write parks until a flush drains
+                    # the buffer below high water
+                    buf.waiters.append(trace)
+                    buf.stalls += 1
+                    self.counters.add("engine_backpressure_stalls")
+                    if not buf.flush_inflight and buf.nbytes > 0:
+                        # pressure flush: drain now even if the flush
+                        # threshold was configured above the high-water mark,
+                        # so parked writes are always eventually woken
+                        buf.flush_inflight = True
+                        self._flush(buf, now)
+                    return
+        self._stage(trace, now)
+
+    def _stage(self, trace: JobTrace, now: float) -> None:
+        spec = trace.spec
+        if trace.stage_index >= len(spec.stages):
+            self._complete(trace, now)
+            return
+        stage = spec.stages[trace.stage_index]
+        trace.stage_index += 1
+        if stage.station == "delay":
+            trace.stage_log.append(("delay", 0.0, stage.service_s))
+            self.queue.schedule(
+                now + stage.service_s, lambda t, tr=trace: self._stage(tr, t)
+            )
+            return
+        st = self._station(stage.station)
+        wait, done = st.submit(now, stage.service_s)
+        trace.station_wait_s += wait
+        trace.stage_log.append((stage.station, wait, stage.service_s))
+
+        def _done(t: float, tr=trace, station=st) -> None:
+            station.depart()
+            self._stage(tr, t)
+
+        self.queue.schedule(done, _done)
+
+    def _complete(self, trace: JobTrace, now: float) -> None:
+        spec = trace.spec
+        if spec.log_bytes and spec.log_nodes:
+            share = spec.log_bytes // len(spec.log_nodes)
+            for nid in spec.log_nodes:
+                buf = self._buffer(nid)
+                crossed_before = buf.pressured
+                buf.append(share)
+                if buf.pressured and not crossed_before:
+                    self.journal.emit(
+                        "engine_backpressure_on", node=nid, nbytes=buf.nbytes
+                    )
+                self._maybe_flush(buf, now)
+        response = now - trace.issued_s
+        self._samples.append((trace.issued_s, response, spec.op))
+        self._per_op.setdefault(spec.op, []).append(response)
+        self._completed += 1
+        if now > self._last_completion_s:
+            self._last_completion_s = now
+        self.counters.add("engine_jobs_completed")
+        self.counters.add("engine_station_wait_s", trace.station_wait_s)
+        self.counters.add("engine_admission_wait_s", trace.admission_wait_s)
+        self.counters.add("engine_backpressure_wait_s", trace.backpressure_wait_s)
+        if self.config.trace_jobs and len(self._spans) < self.config.trace_jobs:
+            self._spans.append(self._job_span(trace, response))
+        released = self.gate.release(now)
+        if released is not None:
+            self._start(released, now)
+        self.queue.schedule(
+            now + self.config.think_s, lambda t, c=trace.client: self._issue(c, t)
+        )
+
+    def _job_span(self, trace: JobTrace, response_s: float) -> Span:
+        """Span taxonomy for stages: root = op, children = admission wait,
+        backpressure wait, then ``queue:<station>`` / ``serve:<station>``
+        pairs in execution order (documented in docs/INTERNALS.md)."""
+        span = Span(trace.spec.op, trace.issued_s, client=trace.client)
+        if trace.admission_wait_s > 0:
+            span.child("admission_wait", trace.admission_wait_s)
+        if trace.backpressure_wait_s > 0:
+            span.child("backpressure_wait", trace.backpressure_wait_s)
+        for station, wait, service in trace.stage_log:
+            if wait > 0:
+                span.child(f"queue:{station}", wait)
+            span.child(f"serve:{station}", service)
+        span.finish(response_s)
+        return span
+
+    # ----------------------------------------------------------- log flushes
+
+    def _maybe_flush(self, buf: LogBufferModel, now: float) -> None:
+        if not buf.should_flush():
+            return
+        buf.flush_inflight = True
+        disk = self._station(f"disk:{buf.node_id}")
+        backlog = disk.backlog_s(now)
+        over = backlog - self.profile.max_disk_backlog_s
+        if over > 0:
+            # upstream flush stall: the disk is too far behind; retry once
+            # the backlog has drained back to the bound
+            buf.flush_deferrals += 1
+            self.counters.add("engine_flush_deferrals")
+            self.queue.schedule(now + over, lambda t, b=buf: self._flush(b, t))
+        else:
+            self._flush(buf, now)
+
+    def _flush(self, buf: LogBufferModel, now: float) -> None:
+        nbytes = buf.nbytes
+        if nbytes <= 0:
+            buf.flush_inflight = False
+            return
+        disk = self._station(f"disk:{buf.node_id}")
+        service = (
+            self.profile.disk_io_overhead_s
+            + nbytes / self.profile.disk_seq_bandwidth_Bps
+        )
+        _, done = disk.submit(now, service)
+
+        def _flushed(t: float, b=buf, n=nbytes, station=disk) -> None:
+            station.depart()
+            was_pressured = b.pressured
+            b.drained(n)
+            self.counters.add("engine_flushes")
+            self.counters.add("engine_flush_bytes", n)
+            self.journal.emit("engine_flush", node=b.node_id, nbytes=n)
+            if was_pressured and not b.pressured:
+                self.journal.emit("engine_backpressure_off", node=b.node_id)
+            while b.waiters and not b.above_high_water():
+                trace = b.waiters.popleft()
+                trace.backpressure_wait_s += t - trace.admitted_s
+                self._stage(trace, t)
+            self._maybe_flush(b, t)
+
+        self.queue.schedule(done, _flushed)
+
+    # ---------------------------------------------------------------- faults
+
+    def _fault_targets(self, node_id: str) -> list[Station]:
+        return [
+            st
+            for name, st in sorted(self.stations.items())
+            if name in (f"nic:{node_id}", f"disk:{node_id}")
+        ]
+
+    def _apply_fault(self, ev: FaultEvent, now: float) -> None:
+        self.journal.emit(
+            "fault_inject",
+            kind=ev.kind.value,
+            node=ev.node_id,
+            duration_s=ev.duration_s,
+            magnitude=ev.magnitude,
+        )
+        targets = self._fault_targets(ev.node_id)
+        if ev.kind is FaultKind.SLOW:
+            for st in targets:
+                st.set_slowdown(ev.magnitude)
+
+            def _heal(t: float) -> None:
+                for st in self._fault_targets(ev.node_id):
+                    st.clear_slowdown()
+                self.journal.emit("fault_heal", kind=ev.kind.value, node=ev.node_id)
+
+            self.queue.schedule(ev.end_s, _heal)
+        elif ev.kind is FaultKind.STALL:
+            for st in targets:
+                st.stall(ev.end_s)
+            # stall windows close by their injected duration (no heal event),
+            # matching analysis.timeline's closer table
+        else:
+            # blip / partition freeze the node's stations for the duration;
+            # a crash freezes them until the (engine-level) repair completes
+            until = (
+                now + self.config.repair_delay_s
+                if ev.kind is FaultKind.CRASH
+                else ev.end_s
+            )
+            for st in targets:
+                st.stall(until)
+            self.queue.schedule(
+                until,
+                lambda t: self.journal.emit(
+                    "fault_heal", kind=ev.kind.value, node=ev.node_id
+                ),
+            )
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> EngineResult:
+        cfg = self.config
+        self.journal.emit(
+            "engine_run_start", concurrency=cfg.concurrency, jobs=len(self.jobs)
+        )
+        for ev in self.faults:
+            self.queue.schedule(ev.time_s, lambda t, e=ev: self._apply_fault(e, t))
+        for client in range(cfg.concurrency):
+            self.queue.schedule(0.0, lambda t, c=client: self._issue(c, t))
+        while len(self.queue):
+            now = self.queue.next_time()
+            self.clock.advance_to(now)
+            self.queue.run_until(now)
+        makespan = self._last_completion_s
+        self.journal.emit(
+            "engine_run_end", completed=self._completed, rejected=self._rejected
+        )
+        for name, st in sorted(self.stations.items()):
+            self.counters.add("engine_station_busy_s", st.resource.busy_s)
+        return self._result(makespan)
+
+    def _result(self, makespan: float) -> EngineResult:
+        result = EngineResult(
+            concurrency=self.config.concurrency,
+            think_s=self.config.think_s,
+            jobs_total=len(self.jobs),
+            jobs_completed=self._completed,
+            jobs_rejected=self._rejected,
+            makespan_s=makespan,
+            throughput_ops_s=self._completed / makespan if makespan > 0 else 0.0,
+            samples=self._samples,
+            events=self.journal.to_dicts(),
+            spans=list(self._spans),
+        )
+        all_lats = sorted(lat for _, lat, _ in self._samples)
+        result.overall = _latency_summary(all_lats)
+        result.ops = {
+            op: _latency_summary(sorted(lats))
+            for op, lats in sorted(self._per_op.items())
+        }
+        result.stations = {
+            name: st.stats(makespan) for name, st in sorted(self.stations.items())
+        }
+        result.admission = self.gate.stats()
+        result.backpressure = {
+            nid: buf.stats() for nid, buf in sorted(self.buffers.items())
+        }
+        result.counters = self.counters.as_dict()
+        return result
+
+
+def _latency_summary(sorted_lats: list[float]) -> dict:
+    """Exact quantiles in microseconds, rounded for byte-stable JSON."""
+    if not sorted_lats:
+        return {"count": 0}
+    us = 1e6
+    return {
+        "count": len(sorted_lats),
+        "mean_us": round(sum(sorted_lats) / len(sorted_lats) * us, 3),
+        "p50_us": round(exact_quantile(sorted_lats, 0.50) * us, 3),
+        "p90_us": round(exact_quantile(sorted_lats, 0.90) * us, 3),
+        "p99_us": round(exact_quantile(sorted_lats, 0.99) * us, 3),
+        "max_us": round(sorted_lats[-1] * us, 3),
+    }

@@ -67,6 +67,11 @@ class LogBuffer:
     def is_full(self) -> bool:
         return self.logical_bytes >= self.capacity_bytes
 
+    def occupancy(self) -> float:
+        """Buffered fraction of capacity -- the backpressure signal the log
+        node exports upstream (see ``LogNode.backpressure``)."""
+        return self.logical_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
     def peek(self) -> list[LogRecord]:
         """Buffered records in arrival order, without draining."""
         if not self.merge:

@@ -60,6 +60,15 @@ EVENT_KINDS = frozenset(
         "heal_execute",
         "heal_rollback",
         "scheme_switch",
+        # concurrent engine (repro.engine): run brackets, admission rejects,
+        # flush completions and the backpressure on/off edges -- the same
+        # journal form the timeline attribution joins against
+        "engine_run_start",
+        "engine_run_end",
+        "engine_reject",
+        "engine_flush",
+        "engine_backpressure_on",
+        "engine_backpressure_off",
     }
 )
 

@@ -1,27 +1,30 @@
-"""Closed-loop throughput simulation.
+"""Closed-loop throughput simulation (legacy front end).
 
 The analytic throughput estimate (min of closed-loop, NIC and CPU bounds) is
-fast but ignores queueing interactions.  This module simulates the paper's
-actual measurement setup -- a client driving C concurrent requests through
-one proxy -- as a deterministic discrete-event run over two shared resources:
+fast but ignores queueing interactions.  The original ``simulate`` here
+modelled the paper's measurement setup -- a client driving C concurrent
+requests through one proxy -- over two shared resources (proxy CPU, proxy
+NIC) plus each op's overlappable remote time.
 
-* the proxy CPU (serialises per-RPC dispatch and encode work),
-* the proxy NIC (serialises payload bytes),
+That model has been superseded by the concurrent discrete-event engine
+(:mod:`repro.engine`), which generalises it to per-node stations, admission
+control, backpressure and mid-run faults.  The exact legacy arithmetic lives
+on -- byte-identical, committed goldens depend on it -- as
+:func:`repro.engine.compat.simulate_demands`; :func:`simulate` below is a
+**deprecated shim** over it kept for source compatibility.  New callers
+should use :func:`repro.engine.compat.simulate_engine` (drop-in, served by
+the engine) or :func:`repro.engine.load.run_load` (full load curves).
 
-plus each operation's non-shared remote time (round trips, node service,
-disk stalls), which overlaps across concurrent operations.
-
-Each operation is an :class:`OpDemand`; the workload runner can record one
-per executed request (``run_requests(..., record_demands=True)``), so the
-simulated mix is exactly the measured mix.
+An empty demand list is a zero-length run, not an error: ``simulate([])``
+returns a zeroed :class:`ClosedLoopResult`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.sim.params import HardwareProfile
-from repro.sim.resources import Resource
 
 
 @dataclass(frozen=True)
@@ -54,38 +57,18 @@ def simulate(
     profile: HardwareProfile,
     concurrency: int | None = None,
 ) -> ClosedLoopResult:
-    """Run ``demands`` through C closed-loop clients; FIFO at CPU then NIC.
+    """Deprecated shim over :func:`repro.engine.compat.simulate_demands`.
 
-    Operations are dealt to clients round-robin; a client issues its next
-    operation the moment the previous one completes.  Completion =
-    NIC-done + remote_s; the CPU and NIC process at most one op at a time.
+    Kept byte-identical to the historical behaviour for non-empty demand
+    lists; an empty list now yields a zeroed result instead of raising.
     """
-    if not demands:
-        raise ValueError("need at least one operation")
-    c = profile.client_concurrency if concurrency is None else concurrency
-    if c < 1:
-        raise ValueError(f"concurrency must be >= 1, got {c}")
-    cpu = Resource("proxy-cpu")
-    nic = Resource("proxy-nic")
-    client_free = [0.0] * min(c, len(demands))
-    makespan = 0.0
-    total_response = 0.0
-    for i, op in enumerate(demands):
-        client = i % len(client_free)
-        arrival = client_free[client]
-        cpu_done = cpu.reserve(arrival, op.cpu_s)
-        nic_done = nic.reserve(cpu_done, op.nic_bytes / profile.net_bandwidth_Bps)
-        completion = nic_done + op.remote_s
-        client_free[client] = completion
-        total_response += completion - arrival
-        if completion > makespan:
-            makespan = completion
-    n = len(demands)
-    return ClosedLoopResult(
-        operations=n,
-        makespan_s=makespan,
-        throughput_ops_s=n / makespan if makespan > 0 else float("inf"),
-        mean_response_s=total_response / n,
-        cpu_utilisation=cpu.utilisation(makespan),
-        nic_utilisation=nic.utilisation(makespan),
+    warnings.warn(
+        "repro.sim.closedloop.simulate is deprecated; use "
+        "repro.engine.compat.simulate_engine (concurrent engine) or "
+        "repro.engine.compat.simulate_demands (legacy arithmetic)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.engine.compat import simulate_demands
+
+    return simulate_demands(demands, profile, concurrency)

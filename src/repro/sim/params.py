@@ -52,6 +52,10 @@ class HardwareProfile:
     client_concurrency: int = 32
     #: max seconds of queued disk IO a log node tolerates before writes stall
     max_disk_backlog_s: float = 0.25
+    #: buffer-occupancy fraction past which log nodes signal backpressure:
+    #: the concurrent engine parks client writes there until a flush drains
+    #: the buffer back below the mark
+    log_high_water_fraction: float = 0.9
     #: reserved space per parity chunk for PLR-family layouts (logical bytes
     #: of deltas that fit next to the chunk; 0 = unlimited).  Deltas past the
     #: reserve spill into chained extents, each costing a repair-time seek --

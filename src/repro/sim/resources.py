@@ -28,6 +28,18 @@ COUNTER_NAMES = frozenset(
         "coalesce_flushes",
         "coalesced_updates",
         "corrupt_chunks_detected",
+        # concurrent engine (repro.engine): job outcomes, accumulated wait
+        # seconds by cause, and the flush/backpressure tallies
+        "engine_admission_wait_s",
+        "engine_backpressure_stalls",
+        "engine_backpressure_wait_s",
+        "engine_flush_bytes",
+        "engine_flush_deferrals",
+        "engine_flushes",
+        "engine_jobs_completed",
+        "engine_jobs_rejected",
+        "engine_station_busy_s",
+        "engine_station_wait_s",
         "gc_passes",
         "gc_stripes",
         "gc_stripes_collected",

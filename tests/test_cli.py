@@ -95,6 +95,34 @@ def test_report_command_writes_everything(tmp_path):
     assert len(list(tmp_path.glob("exp*.json"))) == 7
 
 
+def test_load_command_writes_curve(tmp_path):
+    import json
+
+    path = tmp_path / "load.json"
+    rc, out = _run(["load", "--objects", "120", "--requests", "120",
+                    "--concurrency", "1,8", "--out", str(path)])
+    assert rc == 0
+    assert "hottest station" in out
+    assert "knee:" in out
+    doc = json.loads(path.read_text())
+    assert {"meta", "jobs", "curve", "knee"} <= set(doc)
+    assert [pt["concurrency"] for pt in doc["curve"]] == [1, 8]
+
+
+def test_load_command_chaos_flag():
+    rc, out = _run(["load", "--objects", "100", "--requests", "100",
+                    "--concurrency", "8", "--chaos", "--faults", "2"])
+    assert rc == 0
+    assert "chaos:" in out
+
+
+def test_load_command_rejects_bad_concurrency():
+    with pytest.raises(SystemExit):
+        _run(["load", "--concurrency", "1,two"])
+    with pytest.raises(SystemExit):
+        _run(["load", "--concurrency", "0"])
+
+
 def test_bad_code_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--code", "six-three"])

@@ -11,6 +11,7 @@ from repro.bench.runner import (
     simulate_closed_loop,
 )
 from repro.core.config import StoreConfig
+from repro.engine.compat import simulate_demands
 from repro.sim.closedloop import OpDemand, simulate
 from repro.sim.params import HardwareProfile
 from repro.workloads import WorkloadSpec
@@ -24,15 +25,36 @@ def test_demand_validation():
     with pytest.raises(ValueError):
         OpDemand(cpu_s=-1, nic_bytes=0, remote_s=0)
     with pytest.raises(ValueError):
-        simulate([], _profile())
-    with pytest.raises(ValueError):
-        simulate([OpDemand(1e-6, 0, 0)], _profile(), concurrency=0)
+        simulate_demands([OpDemand(1e-6, 0, 0)], _profile(), concurrency=0)
+
+
+def test_empty_demands_zeroed_result():
+    """Regression: simulate([]) used to raise; it is a zero-length run."""
+    with pytest.warns(DeprecationWarning):
+        res = simulate([], _profile())
+    assert res == simulate_demands([], _profile())
+    assert res.operations == 0
+    assert res.makespan_s == 0.0
+    assert res.throughput_ops_s == 0.0
+    assert res.mean_response_s == 0.0
+    assert res.cpu_utilisation == 0.0
+    assert res.nic_utilisation == 0.0
+
+
+def test_simulate_is_deprecated_shim():
+    """Direct closedloop.simulate warns; the compat entry point does not,
+    and both produce identical results."""
+    ops = [OpDemand(cpu_s=1e-6, nic_bytes=4096, remote_s=1e-4)] * 20
+    with pytest.warns(DeprecationWarning):
+        legacy = simulate(ops, _profile(), concurrency=8)
+    via_compat = simulate_demands(ops, _profile(), concurrency=8)
+    assert legacy == via_compat
 
 
 def test_single_client_serialises():
     """C=1: makespan is the sum of op latencies; no overlap."""
     ops = [OpDemand(cpu_s=1e-3, nic_bytes=0, remote_s=2e-3)] * 10
-    res = simulate(ops, _profile(), concurrency=1)
+    res = simulate_demands(ops, _profile(), concurrency=1)
     assert res.makespan_s == pytest.approx(10 * 3e-3)
     assert res.throughput_ops_s == pytest.approx(1 / 3e-3, rel=1e-6)
     assert res.mean_response_s == pytest.approx(3e-3)
@@ -41,8 +63,8 @@ def test_single_client_serialises():
 def test_concurrency_overlaps_remote_time():
     """Remote time overlaps across clients; CPU does not."""
     ops = [OpDemand(cpu_s=1e-3, nic_bytes=0, remote_s=9e-3)] * 100
-    serial = simulate(ops, _profile(), concurrency=1)
-    parallel = simulate(ops, _profile(), concurrency=10)
+    serial = simulate_demands(ops, _profile(), concurrency=1)
+    parallel = simulate_demands(ops, _profile(), concurrency=10)
     assert parallel.throughput_ops_s > 5 * serial.throughput_ops_s
     # at C=10, CPU is saturated: throughput -> 1/cpu_s
     assert parallel.throughput_ops_s == pytest.approx(1e3, rel=0.1)
@@ -52,7 +74,7 @@ def test_concurrency_overlaps_remote_time():
 def test_nic_bound_regime():
     p = _profile(net_bandwidth_Bps=1e6)
     ops = [OpDemand(cpu_s=0.0, nic_bytes=10_000, remote_s=1e-3)] * 200
-    res = simulate(ops, p, concurrency=64)
+    res = simulate_demands(ops, p, concurrency=64)
     # NIC service time = 10ms per op; throughput ~ 100 ops/s
     assert res.throughput_ops_s == pytest.approx(100, rel=0.05)
     assert res.nic_utilisation > 0.95
@@ -61,7 +83,7 @@ def test_nic_bound_regime():
 def test_more_concurrency_never_hurts_throughput():
     ops = [OpDemand(cpu_s=5e-4, nic_bytes=4096, remote_s=4e-3)] * 300
     t = [
-        simulate(ops, _profile(), concurrency=c).throughput_ops_s
+        simulate_demands(ops, _profile(), concurrency=c).throughput_ops_s
         for c in (1, 4, 16, 64)
     ]
     assert t == sorted(t)
@@ -82,7 +104,7 @@ def test_more_concurrency_never_hurts_throughput():
 )
 def test_simulation_invariants(raw, concurrency):
     ops = [OpDemand(cpu_s=c, nic_bytes=b, remote_s=r) for c, b, r in raw]
-    res = simulate(ops, _profile(), concurrency=concurrency)
+    res = simulate_demands(ops, _profile(), concurrency=concurrency)
     assert res.operations == len(ops)
     assert res.makespan_s >= max(o.cpu_s + o.remote_s for o in ops) - 1e-12
     assert 0 <= res.cpu_utilisation <= 1

@@ -51,3 +51,20 @@ def test_latency_streams_identical_per_seed(name):
         wl = run_workload(store, spec())
         streams.append(wl.latencies_s)
     assert streams[0] == streams[1]
+
+
+def test_engine_load_curve_byte_identical_per_seed():
+    """The concurrent engine's load JSON -- job derivation, queueing, fault
+    schedule, chaos attribution -- is byte-stable for a fixed seed."""
+    from repro.engine.load import load_json, run_load
+
+    docs = [
+        load_json(run_load(n_objects=100, n_requests=100, seed=23,
+                           concurrencies=(1, 8), expected_faults=2.0))
+        for _ in range(2)
+    ]
+    assert docs[0] == docs[1]
+    assert docs[0] != load_json(
+        run_load(n_objects=100, n_requests=100, seed=24, concurrencies=(1, 8),
+                 expected_faults=2.0)
+    )

@@ -1,0 +1,88 @@
+"""Property tests for the deterministic event queue (repro.sim.events).
+
+The concurrent engine leans on three EventQueue guarantees: global time
+order, FIFO tie-breaking by schedule order, and well-defined behaviour when
+callbacks schedule more work (including at times at or before ``now``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+times = st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+                  allow_infinity=False)
+
+
+def _record(log, tag):
+    return lambda t: log.append((t, tag))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(times, max_size=60))
+def test_drain_fires_in_time_then_fifo_order(when):
+    q = EventQueue()
+    log: list[tuple[float, int]] = []
+    for i, t in enumerate(when):
+        q.schedule(t, _record(log, i))
+    assert q.drain() == len(when)
+    assert len(q) == 0
+    # fired times are sorted, and equal times preserve schedule order
+    assert [t for t, _ in log] == sorted(when)
+    assert log == sorted(log, key=lambda e: (e[0], e[1]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(times, min_size=1, max_size=60), times)
+def test_run_until_fires_exactly_the_due_prefix(when, cutoff):
+    q = EventQueue()
+    log: list[tuple[float, int]] = []
+    for i, t in enumerate(when):
+        q.schedule(t, _record(log, i))
+    fired = q.run_until(cutoff)
+    assert fired == sum(1 for t in when if t <= cutoff)
+    assert all(t <= cutoff for t, _ in log)
+    assert len(q) == len(when) - fired
+    remaining = q.next_time()
+    assert remaining is None or remaining > cutoff
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(times, min_size=1, max_size=20))
+def test_reentrant_scheduling_at_or_before_now_fires_same_pass(when):
+    """A callback scheduling follow-up work at ``t <= now`` (the engine does
+    this for zero-think-time reissues) still fires within the same
+    ``run_until`` call, after everything already due at that time."""
+    q = EventQueue()
+    log: list[str] = []
+
+    def chained(t: float) -> None:
+        log.append("parent")
+        q.schedule(t, lambda _t: log.append("child"))
+
+    for t in when:
+        q.schedule(t, chained)
+    fired = q.run_until(max(when))
+    assert fired == 2 * len(when)
+    assert log.count("child") == len(when)
+    assert len(q) == 0
+
+
+def test_interleaved_schedule_and_run():
+    """The engine's main loop shape: run to the next event time, which may
+    schedule more events at that same time."""
+    q = EventQueue()
+    order: list[int] = []
+    q.schedule(1.0, lambda t: (order.append(1), q.schedule(t, lambda _t: order.append(2))))
+    q.schedule(2.0, lambda t: order.append(3))
+    while len(q):
+        q.run_until(q.next_time())
+    assert order == [1, 2, 3]
+
+
+def test_clear_discards_pending():
+    q = EventQueue()
+    q.schedule(1.0, lambda t: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.next_time() is None
