@@ -19,6 +19,7 @@ from repro.analysis.timeline import (
     event_timeline,
     fault_windows,
     mttr_s,
+    telemetry_overlay,
 )
 from repro.analysis.tradeoff import TradeoffPoint, table3, tradeoff_points
 from repro.analysis.report import format_table, fmt_scientific, gib
@@ -37,5 +38,6 @@ __all__ = [
     "observation2_table",
     "stripe_update_histogram",
     "table3",
+    "telemetry_overlay",
     "tradeoff_points",
 ]

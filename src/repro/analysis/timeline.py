@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.analysis.ascii_chart import sparkline
+from repro.analysis.ascii_chart import sparkline, strip_chart, time_ruler
 
 #: event kinds that can close a fault window, by the fault kind that opened it
 _CLOSERS = {
@@ -159,6 +159,54 @@ def attribute_latency(
         )
         rows.append(row)
     return rows
+
+
+def telemetry_overlay(
+    telemetry: dict,
+    windows: list[FaultWindow] | None = None,
+    width: int = 60,
+    series: list[str] | None = None,
+) -> str:
+    """Strip-chart every telemetry series with fault windows marked.
+
+    ``telemetry`` is a sampler's ``to_dict()`` form (as carried by
+    ``EngineResult.telemetry`` / ``ChaosReport.telemetry``).  All charts
+    share one time axis spanning the earliest to the latest sample, so a
+    ``time_ruler`` of the fault windows lines up column-for-column under
+    them -- occupancy rising *through* the shaded span and recovering after
+    it is visible at a glance.  ``series`` filters by name prefix.
+    """
+    all_series = telemetry.get("series", {})
+    names = sorted(all_series)
+    if series:
+        names = [n for n in names if any(n.startswith(p) for p in series)]
+    names = [n for n in names if all_series[n]["points"]]
+    if not names:
+        return "(no telemetry)"
+    t0 = min(all_series[n]["points"][0][0] for n in names)
+    t1 = max(all_series[n]["points"][-1][0] for n in names)
+    label_w = max(len(n) for n in names)
+    lines = [
+        f"{len(names)} series over {(t1 - t0) * 1e3:.3f} ms "
+        f"[{t0 * 1e3:.3f} .. {t1 * 1e3:.3f} ms]"
+    ]
+    for name in names:
+        points = all_series[name]["points"]
+        values = [v for _, v in points]
+        lines.append(
+            f"{name.ljust(label_w)}  {strip_chart(points, width, t0, t1)}"
+            f"  [{min(values):g} .. {max(values):g}] last={values[-1]:g}"
+        )
+    if windows:
+        spans = [(w.start_s, min(w.end_s, t1)) for w in windows if w.start_s <= t1]
+        lines.append(f"{'faults'.ljust(label_w)}  {time_ruler(spans, width, t0, t1)}")
+        for w in windows:
+            end = f"{w.end_s * 1e3:.3f} ms" if w.closed else "open"
+            lines.append(
+                f"{''.ljust(label_w)}  {w.kind}@{w.node_id} "
+                f"[{w.start_s * 1e3:.3f} ms .. {end}]"
+            )
+    return "\n".join(lines)
 
 
 def event_timeline(events: list[dict], width: int = 60) -> str:

@@ -81,13 +81,17 @@ class ChaosReport:
     mttr_s: float = 0.0
     #: control-plane summary (repro.heal), empty when no plane participated
     heal: dict = field(default_factory=dict)
+    #: telemetry series dump (repro.obs.timeseries), empty when no sampler
+    #: rode along -- and then absent from ``to_dict`` so default-run
+    #: fingerprints are unchanged
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def violations(self) -> int:
         return len(self.invariants.get("violations", ()))
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "store": self.store,
             "scheme": self.scheme,
             "seed": self.seed,
@@ -118,6 +122,9 @@ class ChaosReport:
             "mttr_s": self.mttr_s,
             "heal": self.heal,
         }
+        if self.telemetry:
+            doc["telemetry"] = self.telemetry
+        return doc
 
     def fingerprint(self) -> str:
         """Stable digest of the whole report: equal iff the runs were equal."""
@@ -168,6 +175,7 @@ class ChaosRun:
         repair_delay_s: float = 5e-3,
         repair: bool = True,
         control_plane=None,
+        telemetry=None,
     ):
         self.store = store
         self.spec = spec
@@ -175,6 +183,13 @@ class ChaosRun:
         self.repair_delay_s = repair_delay_s
         self.repair = repair
         self.clock = store.cluster.clock
+        #: optional repro.obs.timeseries.TelemetrySampler; pumped on every
+        #: clock advance, probing real log-node buffer state, and its SLO
+        #: events land in the cluster journal the control plane polls
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.add_probe(self._telemetry_probe)
+            telemetry.align(self.clock.now)
         self.faults_q = EventQueue()
         self.recovery_q = EventQueue()
         self.injector = FaultInjector(store.cluster)
@@ -216,10 +231,30 @@ class ChaosRun:
 
     def _pump_and_heal(self, now: float) -> None:
         """Pump the queues, then give the control plane (if any) a tick --
-        it sees freshly-fired faults through the journal, like a daemon."""
+        it sees freshly-fired faults through the journal, like a daemon.
+        Telemetry samples before the plane polls, so a burn edge raised at
+        this tick is already in the journal when the detector reads it."""
         self._pump(now)
+        if self.telemetry is not None:
+            self.telemetry.pump(now)
         if self.control_plane is not None:
             self.control_plane.poll(self.clock.now)
+
+    def _telemetry_probe(self, t: float, sampler) -> None:
+        """Gauge real cluster state: per-log-node buffer occupancy and disk
+        backlog, plus the alive-node count (fault windows show as dips)."""
+        cluster = self.store.cluster
+        for nid in sorted(cluster.log_nodes):
+            node = cluster.log_nodes[nid]
+            bp = node.backpressure(t)
+            sampler.gauge(f"log.{nid}.occupancy").record(t, bp["occupancy"])
+            sampler.gauge(f"log.{nid}.disk_backlog_s").record(
+                t, bp["disk_backlog_s"]
+            )
+        alive = sum(
+            1 for n in cluster.dram_nodes.values() if n.alive
+        ) + sum(1 for n in cluster.log_nodes.values() if n.alive)
+        sampler.gauge("cluster.alive_nodes").record(t, float(alive))
 
     # --------------------------------------------------------- fault handling
 
@@ -371,6 +406,10 @@ class ChaosRun:
             # faults fire relative to requests.
             self.clock.advance(outcome.service_s)
             self.outcomes.append(outcome)
+            if self.telemetry is not None and outcome.acked:
+                self.telemetry.observe_op(
+                    self.clock.now, outcome.latency_s, outcome.op
+                )
             if outcome.acked:
                 d_bytes = counters["net_bytes"] - bytes_before
                 d_rpcs = counters["net_rpcs"] - rpcs_before
@@ -394,6 +433,8 @@ class ChaosRun:
             # work off any still-queued remediation before the books close
             self.control_plane.poll(self.clock.now)
             self.control_plane.quiesce(self._wait)
+        if self.telemetry is not None:
+            self.telemetry.finish(self.clock.now)
         store.finalize()
 
         makespan = self.clock.now
@@ -437,6 +478,8 @@ class ChaosRun:
         # means) AND the journal capture happen first
         report.metrics = store.metrics.snapshot()
         report.events = store.cluster.journal.to_dicts()
+        if self.telemetry is not None:
+            report.telemetry = self.telemetry.to_dict()
         samples = [
             (o.at_s, o.latency_s, o.op) for o in self.outcomes if o.acked
         ]
@@ -459,6 +502,7 @@ def run_chaos(
     repair_delay_s: float = 5e-3,
     repair: bool = True,
     control_plane=None,
+    telemetry=None,
 ) -> ChaosReport:
     """Load the store, then replay the workload under a fault schedule.
 
@@ -499,5 +543,6 @@ def run_chaos(
         repair_delay_s=repair_delay_s,
         repair=repair,
         control_plane=control_plane,
+        telemetry=telemetry,
     )
     return run.execute()

@@ -126,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=["exp1", "exp2", "exp6", "exp7", "heal", "load", "all"],
+        choices=["exp1", "exp2", "exp6", "exp7", "heal", "load", "speed", "all"],
         help="which profile slice to run ('all' = every slice)",
     )
     p.add_argument("--objects", type=int, default=600)
@@ -164,6 +164,49 @@ def build_parser() -> argparse.ArgumentParser:
                    "and attribute latency to fault windows")
     p.add_argument("--faults", type=_positive_float, default=4.0,
                    help="expected fault arrivals per point when --chaos is set")
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "watch",
+        help="sim-time telemetry view: one engine point rendered as ASCII "
+        "strip charts with SLO burn verdict and chaos windows marked",
+    )
+    p.add_argument("--store", default="logecmem",
+                   choices=["vanilla", "replication", "ipmem", "fsmem", "logecmem"])
+    p.add_argument("--code", type=_parse_code, default=(6, 3))
+    p.add_argument("--ratio", default="50:50", help="read:update ratio")
+    p.add_argument("--scheme", default="plm", choices=["pl", "plr", "plr-m", "plm"])
+    p.add_argument("--value-size", type=int, default=4096)
+    p.add_argument("--concurrency", type=int, default=16,
+                   help="closed-loop client count for the watched point")
+    p.add_argument("--think-us", type=float, default=0.0,
+                   help="per-client think time between ops (microseconds)")
+    p.add_argument("--window", type=int, default=0,
+                   help="admission window (0 = unbounded)")
+    p.add_argument("--queue-cap", type=int, default=128,
+                   help="admission overflow queue capacity")
+    p.add_argument("--chaos", action="store_true",
+                   help="rerun under a seeded fault schedule; windows are "
+                   "shaded under the charts")
+    p.add_argument("--faults", type=_positive_float, default=2.0,
+                   help="expected fault arrivals when --chaos is set")
+    p.add_argument("--samples", type=int, default=48,
+                   help="telemetry ticks across the run")
+    p.add_argument("--slo-factor", type=_positive_float, default=1.5,
+                   help="SLO p99 target as a multiple of the clean run's p99")
+    p.add_argument("--width", type=int, default=60,
+                   help="strip-chart width in columns")
+    p.add_argument("--series", action="append", default=[], metavar="PREFIX",
+                   help="chart only series matching these name prefixes "
+                   "(repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="print the byte-stable watch document instead of charts")
+    p.add_argument("--csv-out", default=None,
+                   help="write the telemetry series as CSV to this path")
+    p.add_argument("--jsonl-out", default=None,
+                   help="write the telemetry series as JSONL to this path")
+    p.add_argument("--prometheus", action="store_true",
+                   help="also print timestamped Prometheus telemetry samples")
     _add_scale(p)
 
     p = sub.add_parser(
@@ -492,6 +535,54 @@ def cmd_load(args, out) -> None:
         out(f"load curve written to {args.out}")
 
 
+def cmd_watch(args, out) -> None:
+    """One engine point with sim-time telemetry as strip charts (or JSON)."""
+    from repro.engine.load import render_watch, run_watch, watch_json
+    from repro.obs.export import (
+        timeseries_prometheus,
+        write_timeseries_csv,
+        write_timeseries_jsonl,
+    )
+
+    k, r = args.code
+    doc = run_watch(
+        store_name=args.store,
+        scheme=args.scheme,
+        k=k,
+        r=r,
+        value_size=args.value_size,
+        ratio=args.ratio,
+        n_objects=args.objects,
+        n_requests=args.requests,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        think_s=args.think_us * 1e-6,
+        window=args.window if args.window > 0 else None,
+        queue_cap=args.queue_cap,
+        expected_faults=args.faults if args.chaos else 0.0,
+        samples=args.samples,
+        slo_factor=args.slo_factor,
+    )
+    if args.json:
+        out(watch_json(doc).rstrip("\n"))
+    else:
+        out(render_watch(doc, width=args.width, series=args.series or None))
+    telemetry = doc["point"].get("telemetry", {})
+    if args.prometheus:
+        out(timeseries_prometheus(telemetry).rstrip("\n"))
+    if args.csv_out:
+        write_timeseries_csv(telemetry, args.csv_out)
+        out(f"telemetry CSV written to {args.csv_out}")
+    if args.jsonl_out:
+        write_timeseries_jsonl(telemetry, args.jsonl_out)
+        out(f"telemetry JSONL written to {args.jsonl_out}")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(watch_json(doc))
+        out(f"watch document written to {args.out}")
+
+
 def cmd_chaos(args, out) -> None:
     from repro.chaos import run_chaos
 
@@ -778,6 +869,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "report": cmd_report,
         "run": cmd_run,
         "load": cmd_load,
+        "watch": cmd_watch,
         "profile": cmd_profile,
         "chaos": cmd_chaos,
         "heal": cmd_heal,

@@ -61,6 +61,17 @@ def collect_garbage(store: LogECMem) -> GCReport:
                 live_chunks += 1
             for key in live:
                 slot = chunk.slot_for(key)
+                loc = store.object_index.get(key)
+                if (
+                    key in store._pending
+                    or loc is None
+                    or (loc.stripe_id, loc.seq_no, loc.offset)
+                    != (sid, i, slot.offset)
+                ):
+                    # this slot is a superseded copy (the key was deleted and
+                    # re-written; its live bytes are pending or in another
+                    # stripe) -- reclaim it with the stripe, don't re-enqueue
+                    continue
                 value = chunk.read_slot(slot).copy()
                 old_node = rec.chunk_nodes[i]
                 store.cluster.dram_nodes[old_node].table.delete(key)

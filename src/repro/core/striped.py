@@ -78,6 +78,12 @@ class StripedStoreBase(KVStore):
         # objects written but whose stripe has not sealed yet
         self._pending: dict[str, tuple[str, Chunk, ChunkSlot]] = {}
         self._pending_unit_keys: dict[int, list[str]] = {}
+        # write generations: a delete-then-rewrite leaves the old (zeroed)
+        # slot in the sealing pipeline; stamping every enqueued slot with the
+        # key's generation lets _seal_stripe tell the live slot from stale
+        # ones, whichever order the units reach a stripe
+        self._write_gen: dict[str, int] = {}
+        self._slot_gen: dict[tuple[int, int], int] = {}
         init_observability(self)
 
     # ------------------------------------------------------------- layout hooks
@@ -195,6 +201,9 @@ class StripedStoreBase(KVStore):
             self._open_units[node_id] = unit
             self._pending_unit_keys[id(unit)] = []
         slot = unit.append(key, self.cfg.value_size, value)
+        gen = self._write_gen.get(key, 0) + 1
+        self._write_gen[key] = gen
+        self._slot_gen[(id(unit), slot.offset)] = gen
         self._pending[key] = (node_id, unit, slot)
         self._pending_unit_keys[id(unit)].append(key)
         if not unit.fits(self.cfg.value_size):
@@ -251,6 +260,12 @@ class StripedStoreBase(KVStore):
         for i, unit in enumerate(units):
             self.data_chunks[(sid, i)] = unit
             for slot in unit.slots:
+                gen = self._slot_gen.pop((id(unit), slot.offset), None)
+                if gen is not None and gen != self._write_gen.get(slot.key):
+                    # superseded: the key was deleted and re-written into a
+                    # newer unit, so this slot is tombstone garbage -- leave
+                    # the index and the live pending entry alone
+                    continue
                 self.object_index.put(
                     slot.key,
                     ObjectLocation(

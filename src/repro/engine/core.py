@@ -39,6 +39,7 @@ from repro.engine.jobs import JobSpec, JobTrace
 from repro.engine.stations import Station
 from repro.obs.events import EventJournal
 from repro.obs.span import Span
+from repro.obs.timeseries import SLOTracker, TelemetrySampler
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
 from repro.sim.params import HardwareProfile
@@ -65,12 +66,33 @@ class EngineConfig:
     repair_delay_s: float = 5e-3
     #: keep span trees for the first N completed jobs (0 disables tracing)
     trace_jobs: int = 0
+    #: sample telemetry every this many simulated seconds (0 disables it;
+    #: the run's JSON is byte-identical to a pre-telemetry build when off)
+    telemetry_interval_s: float = 0.0
+    #: ring capacity per telemetry series
+    telemetry_capacity: int = 512
+    #: latency SLO target in microseconds (0 disables the SLO tracker)
+    slo_p99_us: float = 0.0
+    #: availability objective; the error budget is ``1 - objective``
+    slo_objective: float = 0.99
+    #: burn rate above which a window counts as burning
+    slo_burn_threshold: float = 1.0
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
         if self.think_s < 0:
             raise ValueError(f"think_s must be >= 0, got {self.think_s}")
+        if self.telemetry_interval_s < 0:
+            raise ValueError(
+                f"telemetry_interval_s must be >= 0, got {self.telemetry_interval_s}"
+            )
+        if self.telemetry_capacity < 1:
+            raise ValueError(
+                f"telemetry_capacity must be >= 1, got {self.telemetry_capacity}"
+            )
+        if self.slo_p99_us < 0:
+            raise ValueError(f"slo_p99_us must be >= 0, got {self.slo_p99_us}")
 
 
 @dataclass
@@ -97,6 +119,8 @@ class EngineResult:
     events: list = field(default_factory=list)
     #: span trees of the first ``trace_jobs`` completed jobs
     spans: list = field(default_factory=list)
+    #: telemetry series dump (empty unless ``telemetry_interval_s > 0``)
+    telemetry: dict = field(default_factory=dict)
 
     def to_dict(self, include_events: bool = False) -> dict:
         """Deterministic JSON-ready form (sorted keys happen at dump time)."""
@@ -115,6 +139,8 @@ class EngineResult:
             "backpressure": self.backpressure,
             "counters": {k: round(v, 6) for k, v in sorted(self.counters.items())},
         }
+        if self.telemetry:
+            doc["telemetry"] = self.telemetry
         if include_events:
             doc["events"] = self.events
         return doc
@@ -165,6 +191,26 @@ class Engine:
         self._completed = 0
         self._rejected = 0
         self._last_completion_s = 0.0
+        self.sampler: TelemetrySampler | None = None
+        self._tele_busy: dict[str, float] = {}
+        if self.config.telemetry_interval_s > 0:
+            slo = None
+            if self.config.slo_p99_us > 0:
+                slo = SLOTracker(
+                    self.config.slo_p99_us,
+                    objective=self.config.slo_objective,
+                    burn_threshold=self.config.slo_burn_threshold,
+                    journal=self.journal,
+                    counters=self.counters,
+                )
+            self.sampler = TelemetrySampler(
+                self.config.telemetry_interval_s,
+                capacity=self.config.telemetry_capacity,
+                journal=self.journal,
+                counters=self.counters,
+                slo=slo,
+            )
+            self.sampler.add_probe(self._telemetry_probe)
 
     # ------------------------------------------------------------- plumbing
 
@@ -180,6 +226,37 @@ class Engine:
             buf = self.buffers[node_id] = LogBufferModel(node_id, self.profile)
             self._station(f"disk:{node_id}")
         return buf
+
+    # ------------------------------------------------------------- telemetry
+
+    def _telemetry_probe(self, t: float, sampler: TelemetrySampler) -> None:
+        """Gauge live engine state at one sample tick: per-station windowed
+        utilisation / live depth / backlog, admission gate occupancy, and
+        per-log-node buffer occupancy / parked waiters."""
+        interval = self.config.telemetry_interval_s
+        for name in sorted(self.stations):
+            st = self.stations[name]
+            busy = st.busy_elapsed_s(t)
+            prev = self._tele_busy.get(name, 0.0)
+            self._tele_busy[name] = busy
+            util = min(1.0, max(0.0, (busy - prev) / interval))
+            sampler.gauge(f"station.{name}.util").record(t, util)
+            sampler.gauge(f"station.{name}.depth").record(t, float(st.pending))
+            sampler.gauge(f"station.{name}.backlog_s").record(t, st.backlog_s(t))
+        sampler.gauge("admission.inflight").record(t, float(self.gate.inflight))
+        sampler.gauge("admission.queue").record(t, float(len(self.gate.queue)))
+        for nid in sorted(self.buffers):
+            buf = self.buffers[nid]
+            sampler.gauge(f"log.{nid}.occupancy").record(t, buf.occupancy())
+            sampler.gauge(f"log.{nid}.waiters").record(t, float(len(buf.waiters)))
+
+    def _telemetry_tick(self, t: float) -> None:
+        self.sampler.sample(t)
+        # stop when the run is over: the tick is the only event left
+        if len(self.queue):
+            self.queue.schedule(
+                self.sampler.advance_tick(), lambda tt: self._telemetry_tick(tt)
+            )
 
     # ------------------------------------------------------------ job flow
 
@@ -263,6 +340,8 @@ class Engine:
                 self._maybe_flush(buf, now)
         response = now - trace.issued_s
         self._samples.append((trace.issued_s, response, spec.op))
+        if self.sampler is not None:
+            self.sampler.observe_op(now, response, spec.op)
         self._per_op.setdefault(spec.op, []).append(response)
         self._completed += 1
         if now > self._last_completion_s:
@@ -404,11 +483,17 @@ class Engine:
             self.queue.schedule(ev.time_s, lambda t, e=ev: self._apply_fault(e, t))
         for client in range(cfg.concurrency):
             self.queue.schedule(0.0, lambda t, c=client: self._issue(c, t))
+        if self.sampler is not None:
+            self.queue.schedule(
+                self.sampler.next_tick(), lambda t: self._telemetry_tick(t)
+            )
         while len(self.queue):
             now = self.queue.next_time()
             self.clock.advance_to(now)
             self.queue.run_until(now)
         makespan = self._last_completion_s
+        if self.sampler is not None:
+            self.sampler.finish(self.clock.now)
         self.journal.emit(
             "engine_run_end", completed=self._completed, rejected=self._rejected
         )
@@ -443,6 +528,8 @@ class Engine:
             nid: buf.stats() for nid, buf in sorted(self.buffers.items())
         }
         result.counters = self.counters.as_dict()
+        if self.sampler is not None:
+            result.telemetry = self.sampler.to_dict()
         return result
 
 

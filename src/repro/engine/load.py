@@ -26,7 +26,12 @@ from __future__ import annotations
 import json
 
 from repro.analysis.ascii_chart import sparkline
-from repro.analysis.timeline import attribute_latency, fault_windows
+from repro.analysis.timeline import (
+    FaultWindow,
+    attribute_latency,
+    fault_windows,
+    telemetry_overlay,
+)
 from repro.baselines import make_store
 from repro.bench.runner import load_store
 from repro.chaos.schedule import FaultSchedule
@@ -76,12 +81,16 @@ def run_point(
     window: int | None = None,
     queue_cap: int = 128,
     faults: FaultSchedule | None = None,
+    telemetry_interval_s: float = 0.0,
+    slo_p99_us: float = 0.0,
 ) -> EngineResult:
     """One engine run at one concurrency."""
     cfg = EngineConfig(
         concurrency=concurrency,
         think_s=think_s,
         admission=AdmissionConfig(window=window, queue_cap=queue_cap),
+        telemetry_interval_s=telemetry_interval_s,
+        slo_p99_us=slo_p99_us,
     )
     engine = Engine(
         jobs, profile, cfg, faults=list(faults) if faults is not None else None
@@ -332,3 +341,148 @@ def render_load(doc: dict) -> str:
         "p99         " + sparkline([pt["overall"]["p99_us"] for pt in doc["curve"]])
     )
     return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- watch
+
+
+def run_watch(
+    store_name: str = "logecmem",
+    scheme: str = "plm",
+    k: int = 6,
+    r: int = 3,
+    value_size: int = 4096,
+    ratio: str = "50:50",
+    n_objects: int = 600,
+    n_requests: int = 600,
+    seed: int = 42,
+    concurrency: int = 16,
+    think_s: float = 0.0,
+    window: int | None = None,
+    queue_cap: int = 128,
+    expected_faults: float = 0.0,
+    samples: int = 48,
+    slo_factor: float = 1.5,
+) -> dict:
+    """One engine point instrumented for watching.
+
+    Runs the point clean first to size the telemetry interval (the run
+    divided into ``samples`` ticks) and the SLO target (``slo_factor`` x the
+    clean p99 -- so a healthy rerun stays inside budget and a degraded one
+    burns), then reruns with telemetry on and, with ``expected_faults > 0``,
+    a seeded fault schedule spanning the clean makespan.  The document is
+    deterministic end to end; ``render_watch`` turns it into strip charts.
+    """
+    jobs, profile, dram_ids, log_ids = build_jobs(
+        store_name=store_name,
+        scheme=scheme,
+        k=k,
+        r=r,
+        value_size=value_size,
+        ratio=ratio,
+        n_objects=n_objects,
+        n_requests=n_requests,
+        seed=seed,
+    )
+    clean = run_point(
+        jobs, profile, concurrency, think_s=think_s, window=window, queue_cap=queue_cap
+    )
+    interval_s = round(max(clean.makespan_s / max(samples, 1), 1e-9), 12)
+    slo_p99_us = round(clean.overall.get("p99_us", 0.0) * slo_factor, 3)
+    faults = None
+    if expected_faults > 0:
+        faults = FaultSchedule.with_expected_faults(
+            dram_ids,
+            log_ids,
+            horizon_s=max(clean.makespan_s, 1e-6),
+            expected_faults=expected_faults,
+            seed=seed,
+        )
+    watched = run_point(
+        jobs,
+        profile,
+        concurrency,
+        think_s=think_s,
+        window=window,
+        queue_cap=queue_cap,
+        faults=faults,
+        telemetry_interval_s=interval_s,
+        slo_p99_us=slo_p99_us,
+    )
+    windows = fault_windows(watched.events, run_end_s=watched.makespan_s)
+    return {
+        "meta": {
+            "store": store_name,
+            "scheme": scheme,
+            "code": [k, r],
+            "value_size": value_size,
+            "ratio": ratio,
+            "objects": n_objects,
+            "requests": n_requests,
+            "seed": seed,
+            "concurrency": concurrency,
+            "expected_faults": round(expected_faults, 6),
+            "interval_s": round(interval_s, 9),
+            "slo_p99_us": slo_p99_us,
+        },
+        "clean": {
+            "throughput_ops_s": round(clean.throughput_ops_s, 3),
+            "p99_us": clean.overall.get("p99_us", 0.0),
+            "makespan_s": round(clean.makespan_s, 9),
+        },
+        "point": watched.to_dict(),
+        "windows": [w.to_dict() for w in windows],
+    }
+
+
+def _doc_windows(doc: dict) -> list[FaultWindow]:
+    """Rebuild FaultWindow objects from a watch document's dict form."""
+    import math
+
+    return [
+        FaultWindow(
+            kind=w["kind"],
+            node_id=w["node"],
+            start_s=w["start_s"],
+            end_s=w["end_s"] if w["end_s"] is not None else math.inf,
+            healed=w["healed"],
+        )
+        for w in doc.get("windows", [])
+    ]
+
+
+def render_watch(doc: dict, width: int = 60, series: list[str] | None = None) -> str:
+    """ASCII view of a watch document: run header, SLO verdict, strip
+    charts of every telemetry series with fault windows shaded."""
+    meta = doc["meta"]
+    pt = doc["point"]
+    lines = [
+        f"watch: {meta['store']} ({meta['code'][0]},{meta['code'][1]}) "
+        f"scheme={meta['scheme']} r:u={meta['ratio']} C={meta['concurrency']} "
+        f"seed={meta['seed']}",
+        f"ops={pt['jobs_completed']} rejected={pt['jobs_rejected']} "
+        f"throughput={pt['throughput_ops_s']:.1f} ops/s "
+        f"p99={pt['overall'].get('p99_us', 0.0):.1f}us "
+        f"makespan={pt['makespan_s'] * 1e3:.3f} ms",
+    ]
+    slo = pt.get("telemetry", {}).get("slo")
+    if slo:
+        state = "BURNING" if slo["episodes"] else "ok"
+        lines.append(
+            f"slo: target p99={slo['target_p99_us']:.1f}us {state} "
+            f"episodes={slo['episodes']} max_burn={slo['max_burn_rate']:.2f}"
+        )
+    lines.append(
+        telemetry_overlay(
+            pt.get("telemetry", {}),
+            windows=_doc_windows(doc),
+            width=width,
+            series=series,
+        )
+    )
+    return "\n".join(lines)
+
+
+def watch_json(doc: dict) -> str:
+    """Byte-stable serialisation of a watch document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -93,6 +93,17 @@ class Station:
         """Seconds of queued work ahead of an arrival at ``now``."""
         return max(0.0, max(self.resource.free_at, self.stall_until) - now)
 
+    def busy_elapsed_s(self, now: float) -> float:
+        """Busy seconds actually elapsed by ``now``.
+
+        ``resource.busy_s`` counts reserved work including the part scheduled
+        past ``now``; for contiguous FIFO reservations the not-yet-elapsed
+        part is exactly ``free_at - now``, so subtracting it gives the busy
+        time a wall observer would have seen -- the windowed-utilisation
+        signal the telemetry sampler differences between ticks.
+        """
+        return max(0.0, self.resource.busy_s - max(0.0, self.resource.free_at - now))
+
     def stats(self, elapsed_s: float) -> dict:
         """Deterministic summary for the load-curve JSON."""
         jobs = self.resource.jobs

@@ -144,6 +144,22 @@ class Detector:
                 )
             elif kind == "stale_recover":
                 resolved += self._resolve(("stale_parity",), attrs["node"], now)
+            elif kind == "telemetry_slo_burn":
+                # telemetry-derived: the latency SLO's error budget is
+                # burning faster than it accrues (cluster-wide signal)
+                inc = self._raise_incident(
+                    "slo_burn",
+                    attrs.get("node", "_cluster"),
+                    now,
+                    burn_rate=attrs.get("burn_rate", 0.0),
+                    at_s=ev.t_s,
+                )
+                if inc is not None:
+                    fresh.append(inc)
+            elif kind == "telemetry_slo_ok":
+                resolved += self._resolve(
+                    ("slo_burn",), attrs.get("node", "_cluster"), now
+                )
 
         # counter-derived detection: backpressure stalls between polls
         for nid in sorted(self.cluster.log_nodes):

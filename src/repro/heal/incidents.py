@@ -21,6 +21,7 @@ INCIDENT_KINDS = (
     "node_blip",        # transient DRAM node unavailability
     "node_crash",       # DRAM node down, contents unavailable
     "partition",        # node link unreachable
+    "slo_burn",         # telemetry: latency SLO error budget burning
     "stale_parity",     # logged parity stale (log crash/blip or missed delta)
     "straggler",        # node exchanges slowed by a factor
 )

@@ -54,7 +54,9 @@ class Proposer:
             ]
         if kind == "stale_parity":
             return [self._action("recover_log", incident)]
-        if kind in ("straggler", "partition"):
+        if kind in ("straggler", "partition", "slo_burn"):
+            # slo_burn shares the backoff playbook: shedding pressure at the
+            # proxy is the only reversible lever against pure degradation
             return [self._action("traffic_backoff", incident, reversible=True)]
         if kind == "disk_stall":
             # switching layouts mid-stall would pay the stall itself; wait
@@ -69,7 +71,7 @@ class Proposer:
 
     def on_resolved(self, incident: Incident, now: float) -> list[Action]:
         """Follow-up actions once an incident's fault healed."""
-        if incident.kind in ("straggler", "partition"):
+        if incident.kind in ("straggler", "partition", "slo_burn"):
             return [self._action("release_backoff", incident, reversible=True)]
         return []
 

@@ -115,7 +115,9 @@ class Chunk:
         self.buffer[slot.phys_offset : slot.phys_end] = value
 
     def slot_for(self, key: str) -> ChunkSlot | None:
-        for slot in self.slots:
+        # newest first: a delete-then-rewrite can pack the same key twice
+        # into one chunk, and only the latest slot holds live bytes
+        for slot in reversed(self.slots):
             if slot.key == key:
                 return slot
         return None

@@ -8,24 +8,54 @@ latency histograms automatically.
 """
 
 from repro.obs.events import EVENT_KINDS, NULL_JOURNAL, Event, EventJournal
-from repro.obs.export import journal_jsonl, prometheus_text, write_journal
+from repro.obs.export import (
+    engine_gauges_text,
+    journal_jsonl,
+    prometheus_text,
+    timeseries_csv,
+    timeseries_jsonl,
+    timeseries_prometheus,
+    write_journal,
+    write_timeseries_csv,
+    write_timeseries_jsonl,
+)
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.span import NULL_SPAN, Span, Tracer
+from repro.obs.timeseries import (
+    Gauge,
+    SLOTracker,
+    Series,
+    SlidingQuantile,
+    TelemetrySampler,
+    WindowedCounter,
+)
 
 __all__ = [
     "EVENT_KINDS",
     "Event",
     "EventJournal",
+    "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
     "NULL_JOURNAL",
     "NULL_SPAN",
+    "SLOTracker",
+    "Series",
+    "SlidingQuantile",
     "Span",
+    "TelemetrySampler",
     "Tracer",
+    "WindowedCounter",
+    "engine_gauges_text",
     "init_observability",
     "journal_jsonl",
     "prometheus_text",
+    "timeseries_csv",
+    "timeseries_jsonl",
+    "timeseries_prometheus",
     "write_journal",
+    "write_timeseries_csv",
+    "write_timeseries_jsonl",
 ]
 
 

@@ -26,6 +26,8 @@ concatenated stream).
 
 from __future__ import annotations
 
+import json
+
 from repro.obs.events import EventJournal
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 
@@ -69,8 +71,16 @@ def _histogram_lines(
 def prometheus_text(
     registries: MetricsRegistry | list[MetricsRegistry],
     journal: EventJournal | None = None,
+    telemetry=None,
+    stations: dict | None = None,
+    backpressure: dict | None = None,
 ) -> str:
-    """Render registries (+ optional journal counts) as Prometheus text."""
+    """Render registries (+ optional journal counts) as Prometheus text.
+
+    ``telemetry`` (a :class:`~repro.obs.timeseries.TelemetrySampler` or its
+    ``to_dict()`` form) appends timestamped ``repro_timeseries`` samples;
+    ``stations`` / ``backpressure`` (the engine's end-of-run stats dicts)
+    append per-station and per-log-buffer gauges."""
     if isinstance(registries, MetricsRegistry):
         registries = [registries]
     lines: list[str] = []
@@ -121,7 +131,113 @@ def prometheus_text(
                 + f" {_fmt(round(mean, 9))}"
             )
 
+    if stations or backpressure:
+        lines.append(engine_gauges_text(stations or {}, backpressure or {}).rstrip("\n"))
+    if telemetry is not None:
+        lines.append(timeseries_prometheus(telemetry).rstrip("\n"))
+
     return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------- engine gauges
+
+
+def engine_gauges_text(stations: dict, backpressure: dict) -> str:
+    """Engine end-of-run station/log-buffer stats as Prometheus gauges.
+
+    ``stations`` is ``{station_name: Station.stats(...) dict}``;
+    ``backpressure`` is ``{node_id: LogBufferModel.stats() dict}`` -- the
+    exact shapes :class:`~repro.engine.core.EngineResult` carries."""
+    lines: list[str] = []
+    for key in sorted({k for stats in stations.values() for k in stats}):
+        lines.append(f"# TYPE repro_station_{key} gauge")
+        for name in sorted(stations):
+            value = stations[name].get(key)
+            if value is not None:
+                lines.append(
+                    f"repro_station_{key}"
+                    + _labels(station=name)
+                    + f" {_fmt(value)}"
+                )
+    for key in sorted({k for stats in backpressure.values() for k in stats}):
+        lines.append(f"# TYPE repro_log_buffer_{key} gauge")
+        for nid in sorted(backpressure):
+            value = backpressure[nid].get(key)
+            if value is not None:
+                lines.append(
+                    f"repro_log_buffer_{key}" + _labels(node=nid) + f" {_fmt(value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -------------------------------------------------------- telemetry series
+
+
+def _telemetry_doc(telemetry) -> dict:
+    """Accept a TelemetrySampler or its ``to_dict()`` form."""
+    if hasattr(telemetry, "to_dict"):
+        return telemetry.to_dict()
+    return telemetry
+
+
+def timeseries_csv(telemetry) -> str:
+    """Byte-stable CSV dump: one ``series,t_s,value`` row per point,
+    series in sorted order, fixed float formatting."""
+    doc = _telemetry_doc(telemetry)
+    lines = ["series,t_s,value"]
+    series = doc.get("series", {})
+    for name in sorted(series):
+        for t_s, value in series[name]["points"]:
+            lines.append(f"{name},{t_s:.9f},{value:.9f}")
+    return "\n".join(lines) + "\n"
+
+
+def timeseries_jsonl(telemetry) -> str:
+    """Byte-stable JSONL dump: one sorted-keys JSON object per point."""
+    doc = _telemetry_doc(telemetry)
+    lines: list[str] = []
+    series = doc.get("series", {})
+    for name in sorted(series):
+        kind = series[name].get("kind", "series")
+        for t_s, value in series[name]["points"]:
+            lines.append(
+                json.dumps(
+                    {"kind": kind, "series": name, "t_s": t_s, "value": value},
+                    sort_keys=True,
+                )
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def timeseries_prometheus(telemetry) -> str:
+    """Telemetry points as timestamped Prometheus samples.
+
+    Prometheus timestamps are integer milliseconds; simulated time maps
+    1 sim-second -> 1000 ms, losing sub-ms resolution in the *timestamp
+    column only* (the CSV/JSONL forms keep the full 1e-9 rounding)."""
+    doc = _telemetry_doc(telemetry)
+    lines = ["# TYPE repro_timeseries gauge"]
+    series = doc.get("series", {})
+    for name in sorted(series):
+        for t_s, value in series[name]["points"]:
+            lines.append(
+                "repro_timeseries"
+                + _labels(series=name)
+                + f" {_fmt(value)} {int(round(t_s * 1e3))}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_timeseries_csv(telemetry, path: str) -> None:
+    """Dump telemetry to a CSV file."""
+    with open(path, "w") as fh:
+        fh.write(timeseries_csv(telemetry))
+
+
+def write_timeseries_jsonl(telemetry, path: str) -> None:
+    """Dump telemetry to a JSONL file."""
+    with open(path, "w") as fh:
+        fh.write(timeseries_jsonl(telemetry))
 
 
 def journal_jsonl(journal: EventJournal) -> str:

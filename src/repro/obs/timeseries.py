@@ -1,0 +1,422 @@
+"""Sim-time telemetry: windowed series sampling and SLO burn-rate signals.
+
+End-of-run aggregates (``Station.stats``, ``peak_occupancy``, whole-run
+histograms) say *that* a knee or a stall happened; they cannot say *when*,
+or how the system moved through it.  This module adds the missing time axis:
+a :class:`TelemetrySampler` takes a snapshot of engine/cluster state every
+``interval_s`` simulated seconds and appends it to named, bounded series --
+
+* :class:`Gauge` -- an instantaneous level (station utilisation, queue
+  depth, buffer occupancy, parked-waiter count);
+* :class:`WindowedCounter` -- events accumulated *between* samples
+  (completed ops per window -> windowed throughput).  Window sums conserve
+  the underlying total: ``sum(window values) + pending == total bumped``;
+* :class:`SlidingQuantile` -- an exact order-statistic quantile over the
+  observations of the trailing ``window_s`` seconds (sliding-window p99).
+
+Each series keeps its points in a bounded ring (oldest drop first) while
+``count``/``sum`` totals survive eviction, mirroring the event journal's
+contract.  All timestamps come from the simulated clock, so a same-seed run
+produces byte-identical series; the exporters in :mod:`repro.obs.export`
+rely on that.
+
+On top of the raw series sits :class:`SLOTracker`: given a target p99 and an
+availability objective, every window's fraction of over-target ops is
+divided by the error budget (``1 - objective``) to get a *burn rate* --
+burn rate 1.0 means the budget is being spent exactly as fast as it
+accrues; 10x means ten times faster.  Threshold crossings are edge-detected
+into ``telemetry_slo_burn`` / ``telemetry_slo_ok`` journal events, which
+:mod:`repro.heal.detector` consumes as ``slo_burn`` incidents -- the control
+plane reacts to degradation before any durability invariant breaks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.obs.events import EventJournal
+from repro.sim.resources import Counters
+
+
+def exact_quantile(sorted_values: list[float], q: float) -> float:
+    """Exact order-statistic quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class Series:
+    """One named time series: a bounded ring of ``(t_s, value)`` points.
+
+    The ring drops oldest points first; ``count`` and ``total`` keep
+    accounting for every point ever recorded, so eviction loses resolution,
+    never totals.
+    """
+
+    kind = "series"
+
+    __slots__ = ("name", "capacity", "_ring", "count", "total")
+
+    def __init__(self, name: str, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"series capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = int(capacity)
+        self._ring: deque[tuple[float, float]] = deque(maxlen=self.capacity)
+        self.count = 0
+        self.total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def _record(self, t_s: float, value: float) -> None:
+        if self._ring and t_s < self._ring[-1][0]:
+            raise ValueError(
+                f"series {self.name!r}: non-monotone timestamp "
+                f"{t_s} < {self._ring[-1][0]}"
+            )
+        self._ring.append((t_s, float(value)))
+        self.count += 1
+        self.total += float(value)
+
+    # ------------------------------------------------------------- inspection
+
+    def points(self) -> list[tuple[float, float]]:
+        """Retained ``(t_s, value)`` points, oldest first."""
+        return list(self._ring)
+
+    def last(self) -> tuple[float, float] | None:
+        return self._ring[-1] if self._ring else None
+
+    def values(self) -> list[float]:
+        return [v for _, v in self._ring]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form with rounded floats (byte-stable)."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": round(self.total, 9),
+            "points": [[round(t, 9), round(v, 9)] for t, v in self._ring],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, n={len(self._ring)})"
+
+
+class Gauge(Series):
+    """An instantaneous level sampled at each tick."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def record(self, t_s: float, value: float) -> None:
+        self._record(t_s, value)
+
+
+class WindowedCounter(Series):
+    """Counts accumulated between samples; each point is one window's sum.
+
+    ``bump`` adds to a pending window; ``flush`` closes the window at a
+    sample tick.  Conservation invariant (property-tested):
+    ``sum of recorded window values + pending == total bumped``.
+    """
+
+    kind = "windowed_counter"
+    __slots__ = ("pending", "bumped")
+
+    def __init__(self, name: str, capacity: int = 512):
+        super().__init__(name, capacity)
+        self.pending = 0.0
+        self.bumped = 0.0
+
+    def bump(self, amount: float = 1.0) -> None:
+        self.pending += amount
+        self.bumped += amount
+
+    def flush(self, t_s: float) -> float:
+        """Close the current window at ``t_s``; returns the window's sum."""
+        window = self.pending
+        self.pending = 0.0
+        self._record(t_s, window)
+        return window
+
+
+class SlidingQuantile(Series):
+    """Exact quantile over the trailing ``window_s`` seconds of observations.
+
+    Observations older than the window are pruned at each sample tick; the
+    recorded point is the exact order statistic of what remains (0.0 when the
+    window is empty -- an idle window has no tail).
+    """
+
+    kind = "sliding_quantile"
+    __slots__ = ("q", "window_s", "_obs")
+
+    def __init__(self, name: str, q: float, window_s: float, capacity: int = 512):
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        super().__init__(name, capacity)
+        self.q = float(q)
+        self.window_s = float(window_s)
+        self._obs: deque[tuple[float, float]] = deque()
+
+    def observe(self, t_s: float, value: float) -> None:
+        self._obs.append((t_s, float(value)))
+
+    def record_at(self, t_s: float) -> float:
+        """Prune stale observations and record the window's quantile."""
+        horizon = t_s - self.window_s
+        while self._obs and self._obs[0][0] < horizon:
+            self._obs.popleft()
+        value = exact_quantile(sorted(v for _, v in self._obs), self.q)
+        self._record(t_s, value)
+        return value
+
+
+class SLOTracker:
+    """Error-budget burn rate against a latency SLO, per sample window.
+
+    Every acked op is classified good/bad against ``target_p99_us``; at each
+    sample tick the window's bad fraction is divided by the error budget
+    (``1 - objective``) to get the burn rate.  A window whose burn rate
+    exceeds ``burn_threshold`` opens a *burning* episode; the rising edge
+    emits ``telemetry_slo_burn`` and the falling edge ``telemetry_slo_ok``
+    (both attributed to the whole cluster: ``node="_cluster"``), so the heal
+    detector's dedupe works exactly as for per-node incident sources.
+    """
+
+    def __init__(
+        self,
+        target_p99_us: float,
+        objective: float = 0.99,
+        burn_threshold: float = 1.0,
+        journal: EventJournal | None = None,
+        counters: Counters | None = None,
+    ):
+        if target_p99_us <= 0:
+            raise ValueError(f"target_p99_us must be > 0, got {target_p99_us}")
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        if burn_threshold <= 0:
+            raise ValueError(f"burn_threshold must be > 0, got {burn_threshold}")
+        self.target_p99_us = float(target_p99_us)
+        self.objective = float(objective)
+        self.burn_threshold = float(burn_threshold)
+        self.journal = journal
+        self.counters = counters
+        self.window_ops = 0
+        self.window_bad = 0
+        self.total_ops = 0
+        self.total_bad = 0
+        self.burning = False
+        self.episodes = 0
+        self.samples_burning = 0
+        self.max_burn_rate = 0.0
+
+    def observe(self, latency_us: float) -> None:
+        self.window_ops += 1
+        self.total_ops += 1
+        if latency_us > self.target_p99_us:
+            self.window_bad += 1
+            self.total_bad += 1
+
+    def sample(self, t_s: float) -> float:
+        """Close the window at ``t_s``; returns its burn rate."""
+        budget = 1.0 - self.objective
+        bad_frac = self.window_bad / self.window_ops if self.window_ops else 0.0
+        burn = bad_frac / budget
+        ops, bad = self.window_ops, self.window_bad
+        self.window_ops = 0
+        self.window_bad = 0
+        if burn > self.max_burn_rate:
+            self.max_burn_rate = burn
+        burning = ops > 0 and burn > self.burn_threshold
+        if burning:
+            self.samples_burning += 1
+        if burning and not self.burning:
+            self.episodes += 1
+            if self.counters is not None:
+                self.counters.add("telemetry_slo_burns")
+            if self.journal is not None:
+                self.journal.emit(
+                    "telemetry_slo_burn",
+                    node="_cluster",
+                    burn_rate=round(burn, 6),
+                    window_ops=ops,
+                    window_bad=bad,
+                    target_p99_us=round(self.target_p99_us, 3),
+                )
+        elif self.burning and not burning:
+            if self.journal is not None:
+                self.journal.emit(
+                    "telemetry_slo_ok",
+                    node="_cluster",
+                    burn_rate=round(burn, 6),
+                    window_ops=ops,
+                )
+        self.burning = burning
+        return burn
+
+    def summary(self) -> dict:
+        """Deterministic end-of-run view (rounded for byte-stable JSON)."""
+        return {
+            "target_p99_us": round(self.target_p99_us, 3),
+            "objective": round(self.objective, 6),
+            "burn_threshold": round(self.burn_threshold, 6),
+            "total_ops": self.total_ops,
+            "total_bad": self.total_bad,
+            "episodes": self.episodes,
+            "samples_burning": self.samples_burning,
+            "max_burn_rate": round(self.max_burn_rate, 6),
+        }
+
+
+class TelemetrySampler:
+    """Fixed-interval telemetry over the simulated clock.
+
+    Owns a registry of named series and a list of probe callbacks
+    ``fn(t_s, sampler)`` that gauge live state at each tick.  The engine
+    schedules :meth:`sample` on its event queue; clock-stepped callers (the
+    chaos harness) call :meth:`pump` after each advance, which takes every
+    whole-interval tick the clock has crossed.  Sample times are therefore
+    strictly increasing multiples of ``interval_s`` (plus one final
+    off-grid point from :meth:`finish`), which the property tests assert.
+    """
+
+    def __init__(
+        self,
+        interval_s: float,
+        capacity: int = 512,
+        journal: EventJournal | None = None,
+        counters: Counters | None = None,
+        slo: SLOTracker | None = None,
+        p99_window_s: float | None = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self.journal = journal
+        self.counters = counters
+        self.slo = slo
+        self.series: dict[str, Series] = {}
+        self.samples = 0
+        self.last_t_s = -1.0
+        self._probes: list = []
+        self._next_tick = self.interval_s
+        window = p99_window_s if p99_window_s is not None else 5 * self.interval_s
+        # the client-stream series every run gets; probes add the rest
+        self._ops = self.counter("client.ops")
+        self._throughput = self.gauge("client.throughput_ops_s")
+        self._p99 = self.quantile("client.p99_us", 0.99, window)
+        self._burn = self.gauge("slo.burn_rate") if slo is not None else None
+
+    # -------------------------------------------------------------- registry
+
+    def gauge(self, name: str) -> Gauge:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = Gauge(name, self.capacity)
+        return s
+
+    def counter(self, name: str) -> WindowedCounter:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = WindowedCounter(name, self.capacity)
+        return s
+
+    def quantile(self, name: str, q: float, window_s: float) -> SlidingQuantile:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = SlidingQuantile(name, q, window_s, self.capacity)
+        return s
+
+    def add_probe(self, probe) -> None:
+        """Register ``fn(t_s, sampler)`` to gauge live state at each tick."""
+        self._probes.append(probe)
+
+    # ------------------------------------------------------------- ingestion
+
+    def observe_op(self, t_s: float, latency_s: float, op: str) -> None:
+        """Feed one acked client op into the stream series and the SLO."""
+        del op  # per-op split stays in the end-of-run histograms
+        latency_us = latency_s * 1e6
+        self._ops.bump()
+        self._p99.observe(t_s, latency_us)
+        if self.slo is not None:
+            self.slo.observe(latency_us)
+
+    # -------------------------------------------------------------- sampling
+
+    def sample(self, t_s: float) -> bool:
+        """Take one snapshot at ``t_s``; returns False for stale ticks."""
+        if t_s <= self.last_t_s:
+            return False
+        for probe in self._probes:
+            probe(t_s, self)
+        window_ops = self._ops.flush(t_s)
+        elapsed = t_s - self.last_t_s if self.last_t_s >= 0 else t_s
+        rate = window_ops / elapsed if elapsed > 0 else 0.0
+        self._throughput.record(t_s, rate)
+        for s in self.series.values():
+            if isinstance(s, SlidingQuantile):
+                s.record_at(t_s)
+            elif isinstance(s, WindowedCounter) and s is not self._ops:
+                s.flush(t_s)
+        if self.slo is not None and self._burn is not None:
+            self._burn.record(t_s, self.slo.sample(t_s))
+        self.samples += 1
+        self.last_t_s = t_s
+        if self.counters is not None:
+            self.counters.add("telemetry_samples")
+        return True
+
+    def pump(self, now_s: float) -> int:
+        """Take every whole-interval tick up to ``now_s`` (clock-stepped
+        callers); returns the number of samples taken."""
+        taken = 0
+        while self._next_tick <= now_s:
+            if self.sample(self._next_tick):
+                taken += 1
+            self._next_tick += self.interval_s
+        return taken
+
+    def align(self, now_s: float) -> None:
+        """Skip ticks at or before ``now_s``: a run phase starting mid-clock
+        (after a load phase) must not retro-sample the past."""
+        if now_s >= self._next_tick:
+            steps = math.floor((now_s - self._next_tick) / self.interval_s) + 1
+            self._next_tick += steps * self.interval_s
+
+    def next_tick(self) -> float:
+        """The next scheduled sample time (engine scheduling hook)."""
+        return self._next_tick
+
+    def advance_tick(self) -> float:
+        """Consume the current tick and return the following one."""
+        self._next_tick += self.interval_s
+        return self._next_tick
+
+    def finish(self, t_s: float) -> None:
+        """Final off-grid sample at run end, so pending windows are flushed
+        and window sums conserve the underlying totals."""
+        if t_s > self.last_t_s:
+            self.sample(t_s)
+
+    # --------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready dump of every series plus SLO summary."""
+        doc = {
+            "interval_s": round(self.interval_s, 9),
+            "samples": self.samples,
+            "series": {name: self.series[name].to_dict() for name in sorted(self.series)},
+        }
+        if self.slo is not None:
+            doc["slo"] = self.slo.summary()
+        return doc

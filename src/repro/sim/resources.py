@@ -83,6 +83,9 @@ COUNTER_NAMES = frozenset(
         "parity_deltas_skipped",
         "proxy_failovers",
         "stripes_sealed",
+        # sim-time telemetry (repro.obs.timeseries)
+        "telemetry_samples",
+        "telemetry_slo_burns",
     }
 )
 
