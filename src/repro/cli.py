@@ -273,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="simlint: AST-based determinism & sim-hygiene analysis "
-        "(SIM001-SIM006) over src/ and tests/",
+        "(SIM001-SIM009) over src/ and tests/",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src tests)")
@@ -292,6 +292,31 @@ def build_parser() -> argparse.ArgumentParser:
                    "permitted (repeatable)")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--check-baseline", action="store_true",
+                   help="also fail if any baseline finding id no longer "
+                   "resolves against the tree (staleness guard)")
+
+    p = sub.add_parser(
+        "sanitize",
+        help="simsan: re-run engine/chaos/heal slices under permuted "
+        "event tie-breaking and diff state fingerprints",
+    )
+    p.add_argument("--slices", default="engine,chaos,heal",
+                   help="comma-separated slices to run (engine, chaos, heal)")
+    p.add_argument("--fixture", action="append", default=[], metavar="FILE",
+                   help="also run a scenario() fixture file under the "
+                   "sanitizer (repeatable)")
+    p.add_argument("--fixtures-only", action="store_true",
+                   help="skip the built-in slices (only run --fixture files)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as canonical JSON")
+    p.add_argument("--shuffle-seed", type=int, default=None,
+                   help="seed for the shuffled tie-break mode")
+    p.add_argument("--objects", type=int, default=200)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to this path")
 
     p = sub.add_parser(
         "compare",
@@ -794,11 +819,41 @@ def cmd_lint(args, out) -> None:
         fmt=args.format,
         baseline_path=Path(args.baseline) if args.baseline else None,
         update_baseline=args.update_baseline,
+        check_baseline=args.check_baseline,
         wallclock_allow=tuple(args.allow_wallclock),
         out=out,
     )
     if code:
         raise SystemExit(code)
+
+
+def cmd_sanitize(args, out) -> None:
+    """Run the simsan determinism sanitizer; exit 1 on any flagged run."""
+    import json
+    from pathlib import Path
+
+    from repro.devtools.simsan import runner
+
+    slices = tuple(s for s in args.slices.split(",") if s)
+    if args.fixtures_only:
+        slices = ()
+    kwargs = {}
+    if args.shuffle_seed is not None:
+        kwargs["shuffle_seed"] = args.shuffle_seed
+    report = runner.run_sanitize(
+        slices=slices,
+        fixtures=tuple(args.fixture),
+        n_objects=args.objects,
+        n_requests=args.requests,
+        seed=args.seed,
+        **kwargs,
+    )
+    text = runner.render_json(report) if args.json else runner.render_text(report)
+    out(text.rstrip("\n"))
+    if args.out:
+        Path(args.out).write_text(runner.render_json(report))
+    if not report["ok"]:
+        raise SystemExit(1)
 
 
 def cmd_compare(args, out) -> None:
@@ -876,6 +931,7 @@ def main(argv: list[str] | None = None, out=print) -> int:
         "inspect": cmd_inspect,
         "compare": cmd_compare,
         "lint": cmd_lint,
+        "sanitize": cmd_sanitize,
     }
     handler = handlers.get(args.command, cmd_experiment)
     handler(args, out)

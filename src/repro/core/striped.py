@@ -27,6 +27,7 @@ from repro.core.interface import (
     OpResult,
     StoreUnavailableError,
 )
+from repro.devtools.simsan import runtime as _san
 from repro.ec.rs import RSCode
 from repro.kvstore.chunk import Chunk, ChunkSlot, make_value
 from repro.kvstore.object_index import ObjectIndex, ObjectLocation
@@ -201,7 +202,11 @@ class StripedStoreBase(KVStore):
             self._open_units[node_id] = unit
             self._pending_unit_keys[id(unit)] = []
         slot = unit.append(key, self.cfg.value_size, value)
-        gen = self._write_gen.get(key, 0) + 1
+        prev_gen = self._write_gen.get(key, 0)
+        gen = prev_gen + 1
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_write_gen(key, gen, prev_gen)
         self._write_gen[key] = gen
         self._slot_gen[(id(unit), slot.offset)] = gen
         self._pending[key] = (node_id, unit, slot)
@@ -261,7 +266,12 @@ class StripedStoreBase(KVStore):
             self.data_chunks[(sid, i)] = unit
             for slot in unit.slots:
                 gen = self._slot_gen.pop((id(unit), slot.offset), None)
-                if gen is not None and gen != self._write_gen.get(slot.key):
+                live = self._write_gen.get(slot.key)
+                superseded = gen is not None and gen != live
+                san = _san.ACTIVE
+                if san is not None:
+                    san.on_seal(slot.key, gen, live, applied=not superseded)
+                if superseded:
                     # superseded: the key was deleted and re-written into a
                     # newer unit, so this slot is tombstone garbage -- leave
                     # the index and the live pending entry alone

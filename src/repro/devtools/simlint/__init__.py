@@ -14,6 +14,7 @@ from repro.devtools.simlint.engine import (
     render_json,
     render_text,
     run_lint,
+    stale_baseline_ids,
     write_baseline,
 )
 from repro.devtools.simlint.findings import Finding
@@ -35,5 +36,6 @@ __all__ = [
     "render_text",
     "run_lint",
     "run_rules",
+    "stale_baseline_ids",
     "write_baseline",
 ]

@@ -34,6 +34,8 @@ class LintConfig:
     clock_modules: tuple[str, ...] = ("src/repro/sim/clock.py",)
     events_module: str = "src/repro/obs/events.py"
     counters_module: str = "src/repro/sim/resources.py"
+    incidents_module: str = "src/repro/heal/incidents.py"
+    stations_module: str = "src/repro/engine/stations.py"
     exclude_dirs: tuple[str, ...] = DEFAULT_EXCLUDE_DIRS
 
     def relpath(self, path: Path) -> str:

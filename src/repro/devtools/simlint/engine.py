@@ -112,7 +112,13 @@ def lint_paths(
             raise LintError(
                 f"no default scan paths ({'/'.join(DEFAULT_SCAN_PATHS)}) under {config.root}"
             )
-    registry = load_registry(config.root, config.events_module, config.counters_module)
+    registry = load_registry(
+        config.root,
+        config.events_module,
+        config.counters_module,
+        incidents_module=config.incidents_module,
+        stations_module=config.stations_module,
+    )
     result = LintResult()
     all_findings: list[Finding] = []
     for path in collect_files(paths, config):
@@ -182,12 +188,25 @@ def render_json(result: LintResult) -> str:
 # ----------------------------------------------------------------- front end
 
 
+def stale_baseline_ids(result: LintResult, baseline_ids: frozenset[str]) -> list[str]:
+    """Baseline ids that no longer resolve to any finding in the tree.
+
+    A stale id means the offending code was fixed (or the snippet changed,
+    re-hashing the id) but the baseline entry was never pruned; left alone it
+    could silently grandfather a *future* regression that happens to hash to
+    the same id.  CI runs ``lint --check-baseline`` to keep the file honest.
+    """
+    current = {f.finding_id for f in [*result.findings, *result.baselined]}
+    return sorted(baseline_ids - current)
+
+
 def run_lint(
     paths: list[str] | None,
     root: Path,
     fmt: str = "text",
     baseline_path: Path | None = None,
     update_baseline: bool = False,
+    check_baseline: bool = False,
     wallclock_allow: tuple[str, ...] = (),
     out=print,
 ) -> int:
@@ -207,4 +226,12 @@ def run_lint(
             f"id(s) written to {baseline_path}")
         return 0
     out(render_json(result) if fmt == "json" else render_text(result))
+    if check_baseline:
+        stale = stale_baseline_ids(result, baseline_ids)
+        if stale:
+            for finding_id in stale:
+                out(f"simlint: stale baseline id {finding_id} "
+                    f"(no current finding resolves to it)")
+            return 1
+        out(f"simlint: baseline ok ({len(baseline_ids)} id(s), none stale)")
     return result.exit_code

@@ -1,8 +1,11 @@
-"""Cross-module name resolution for SIM004.
+"""Cross-module name resolution for SIM004 and SIM008.
 
-The event taxonomy (``EVENT_KINDS`` in ``repro/obs/events.py``) and the
-counter registry (``COUNTER_NAMES`` / ``COUNTER_PREFIXES`` in
-``repro/sim/resources.py``) are *parsed out of their defining modules'
+The event taxonomy (``EVENT_KINDS`` in ``repro/obs/events.py``), the counter
+registry (``COUNTER_NAMES`` / ``COUNTER_PREFIXES`` in
+``repro/sim/resources.py``), the self-healing taxonomies
+(``INCIDENT_KINDS`` / ``ACTION_KINDS`` in ``repro/heal/incidents.py``) and
+the engine station namespace (``STATION_NAMES`` / ``STATION_PREFIXES`` in
+``repro/engine/stations.py``) are *parsed out of their defining modules'
 ASTs*, never imported -- linting must not execute repo code, and must work
 on a tree that currently fails to import.
 """
@@ -16,7 +19,7 @@ from pathlib import Path
 
 @dataclass(frozen=True)
 class Registry:
-    """Declared names SIM004 resolves literals against.
+    """Declared names SIM004/SIM008 resolve literals against.
 
     ``None`` means the declaration could not be found; the corresponding
     check is skipped (never spuriously fired) in that case.
@@ -25,6 +28,10 @@ class Registry:
     event_kinds: frozenset[str] | None = None
     counter_names: frozenset[str] | None = None
     counter_prefixes: tuple[str, ...] = ()
+    incident_kinds: frozenset[str] | None = None
+    action_kinds: frozenset[str] | None = None
+    station_names: frozenset[str] | None = None
+    station_prefixes: tuple[str, ...] = ()
 
 
 def _assigned_value(tree: ast.Module, name: str) -> ast.expr | None:
@@ -70,29 +77,51 @@ def _parse(path: Path) -> ast.Module | None:
         return None
 
 
-def load_registry(root: Path, events_module: str, counters_module: str) -> Registry:
-    """Extract the declared taxonomies from the two registry modules."""
-    event_kinds: frozenset[str] | None = None
-    counter_names: frozenset[str] | None = None
+def _names_from(root: Path, module: str, name: str) -> frozenset[str] | None:
+    tree = _parse(root / module)
+    if tree is None:
+        return None
+    elts = _string_elts(_assigned_value(tree, name))
+    return frozenset(elts) if elts is not None else None
+
+
+def load_registry(
+    root: Path,
+    events_module: str,
+    counters_module: str,
+    incidents_module: str | None = None,
+    stations_module: str | None = None,
+) -> Registry:
+    """Extract the declared taxonomies from the registry modules."""
     counter_prefixes: tuple[str, ...] = ()
+    station_prefixes: tuple[str, ...] = ()
 
-    tree = _parse(root / events_module)
-    if tree is not None:
-        elts = _string_elts(_assigned_value(tree, "EVENT_KINDS"))
-        if elts is not None:
-            event_kinds = frozenset(elts)
-
+    event_kinds = _names_from(root, events_module, "EVENT_KINDS")
+    counter_names = _names_from(root, counters_module, "COUNTER_NAMES")
     tree = _parse(root / counters_module)
     if tree is not None:
-        elts = _string_elts(_assigned_value(tree, "COUNTER_NAMES"))
-        if elts is not None:
-            counter_names = frozenset(elts)
         prefixes = _string_elts(_assigned_value(tree, "COUNTER_PREFIXES"))
         if prefixes is not None:
             counter_prefixes = tuple(prefixes)
+
+    incident_kinds = action_kinds = station_names = None
+    if incidents_module is not None:
+        incident_kinds = _names_from(root, incidents_module, "INCIDENT_KINDS")
+        action_kinds = _names_from(root, incidents_module, "ACTION_KINDS")
+    if stations_module is not None:
+        station_names = _names_from(root, stations_module, "STATION_NAMES")
+        tree = _parse(root / stations_module)
+        if tree is not None:
+            prefixes = _string_elts(_assigned_value(tree, "STATION_PREFIXES"))
+            if prefixes is not None:
+                station_prefixes = tuple(prefixes)
 
     return Registry(
         event_kinds=event_kinds,
         counter_names=counter_names,
         counter_prefixes=counter_prefixes,
+        incident_kinds=incident_kinds,
+        action_kinds=action_kinds,
+        station_names=station_names,
+        station_prefixes=station_prefixes,
     )

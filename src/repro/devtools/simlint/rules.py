@@ -14,6 +14,9 @@ SIM003  order-dependent consumption of unordered sets
 SIM004  event/counter string literals not in the declared registries
 SIM005  sim-clock misuse (state mutation, negative ``advance``)
 SIM006  mutable default arguments
+SIM007  order-dependent ``+=`` accumulation over an unordered container
+SIM008  incident/action/station string literals not in the declared taxonomies
+SIM009  event callback (lambda passed to ``.schedule``) capturing a loop variable
 """
 
 from __future__ import annotations
@@ -32,6 +35,9 @@ RULE_DOCS = {
     "SIM004": "event/counter string literal not declared in EVENT_KINDS / COUNTER_NAMES",
     "SIM005": "sim-clock misuse: direct state mutation or negative advance()",
     "SIM006": "mutable default argument (def f(x=[]) / field(default={...}))",
+    "SIM007": "order-dependent accumulation (+= / sum) over an unordered set",
+    "SIM008": "incident/action/station literal not declared in its taxonomy",
+    "SIM009": "lambda scheduled in a loop captures the loop variable by reference",
 }
 
 #: canonical dotted names whose call result depends on the host's clock
@@ -103,6 +109,43 @@ def _is_set_display(node: ast.expr) -> bool:
     )
 
 
+def _target_names(target: ast.expr) -> set[str]:
+    """Every plain name bound by a for-loop target (handles tuple unpacking)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _target_names(elt)
+        return out
+    return set()
+
+
+def _callee_tail(func: ast.expr) -> str | None:
+    """The final identifier of a call target: ``Stage`` for both ``Stage(...)``
+    and ``jobs.Stage(...)``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_arg(node: ast.Call, position: int, keyword: str) -> ast.Constant | None:
+    """The string-literal argument at ``position`` or keyword ``keyword``,
+    else None (variables and f-strings are skipped, never guessed)."""
+    candidates: list[ast.expr] = []
+    if len(node.args) > position:
+        candidates.append(node.args[position])
+    candidates.extend(kw.value for kw in node.keywords if kw.arg == keyword)
+    for cand in candidates:
+        if isinstance(cand, ast.Constant) and isinstance(cand.value, str):
+            return cand
+    return None
+
+
 def _receiver_tail(func: ast.Attribute) -> str | None:
     """The last identifier of a method call's receiver: ``x`` in ``x.emit``,
     ``journal`` in ``self.cluster.journal.emit``."""
@@ -133,6 +176,11 @@ class RuleVisitor(ast.NodeVisitor):
         self.aliases: dict[str, str] = {}
         #: stack of {name -> is-known-set} scopes for set.pop() tracking
         self._set_vars: list[dict[str, bool]] = [{}]
+        #: stack of enclosing for-loop target name sets (SIM009)
+        self._loop_targets: list[frozenset[str]] = []
+        #: AugAssign nodes already reported by SIM007 (nested set-loops
+        #: would otherwise report the same accumulation once per level)
+        self._sim007_seen: set[int] = set()
         self._wallclock_ok = config.wallclock_allowed(relpath)
         self._clock_module = config.is_clock_module(relpath)
 
@@ -275,13 +323,38 @@ class RuleVisitor(ast.NodeVisitor):
                 "PYTHONHASHSEED -- iterate sorted(...) instead",
             )
 
-    def visit_For(self, node: ast.For) -> None:
+    def _visit_loop(self, node: ast.For | ast.AsyncFor) -> None:
         self._check_iter(node.iter)
+        self._check_set_accumulation(node)
+        self._loop_targets.append(frozenset(_target_names(node.target)))
         self.generic_visit(node)
+        self._loop_targets.pop()
 
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iter(node.iter)
-        self.generic_visit(node)
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+
+    def _check_set_accumulation(self, node: ast.For | ast.AsyncFor) -> None:
+        """SIM007: ``x += ...`` inside ``for _ in <known set>`` -- float
+        accumulation folds in hash-seed order, so the rounded total drifts
+        with PYTHONHASHSEED."""
+        it = node.iter
+        if not (isinstance(it, ast.Name) and self._is_set_var(it.id)):
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.AugAssign)
+                    and isinstance(sub.op, ast.Add)
+                    and id(sub) not in self._sim007_seen
+                ):
+                    self._sim007_seen.add(id(sub))
+                    self._report(
+                        sub,
+                        "SIM007",
+                        f"accumulation over unordered set {it.id!r}; float "
+                        "+= folds in hash-seed order -- iterate "
+                        f"sorted({it.id}) instead",
+                    )
 
     def _visit_comprehension(self, node) -> None:
         for gen in node.generators:
@@ -300,6 +373,8 @@ class RuleVisitor(ast.NodeVisitor):
         self._check_set_aggregation(node)
         self._check_set_pop(node)
         self._check_registry_literals(node)
+        self._check_kind_literals(node)
+        self._check_schedule_lambda(node)
         self._check_clock_advance(node)
         self._check_field_default(node)
         self.generic_visit(node)
@@ -339,12 +414,10 @@ class RuleVisitor(ast.NodeVisitor):
                 )
 
     def _check_set_aggregation(self, node: ast.Call) -> None:
-        if (
-            isinstance(node.func, ast.Name)
-            and node.func.id in _AGGREGATORS
-            and node.args
-            and _is_set_display(node.args[0])
-        ):
+        if not (isinstance(node.func, ast.Name) and node.func.id in _AGGREGATORS and node.args):
+            return
+        arg0 = node.args[0]
+        if _is_set_display(arg0):
             # min/max over a set are value-deterministic only for total
             # orders; float NaNs and custom keys make them seed-dependent,
             # and sum's float accumulation is order-dependent outright
@@ -353,6 +426,21 @@ class RuleVisitor(ast.NodeVisitor):
                 "SIM003",
                 f"{node.func.id}() over an unordered set; aggregate over "
                 "sorted(...) so the reduction order is fixed",
+            )
+            return
+        # SIM007: sum() folding a variable this file *proved* is a set
+        # (displays are SIM003's; variables need the scope tracking)
+        if node.func.id != "sum":
+            return
+        src = arg0
+        if isinstance(src, (ast.GeneratorExp, ast.ListComp)) and src.generators:
+            src = src.generators[0].iter
+        if isinstance(src, ast.Name) and self._is_set_var(src.id):
+            self._report(
+                node,
+                "SIM007",
+                f"sum() over unordered set {src.id!r}; float accumulation "
+                f"folds in hash-seed order -- sum(sorted({src.id})) instead",
             )
 
     def _check_set_pop(self, node: ast.Call) -> None:
@@ -407,6 +495,79 @@ class RuleVisitor(ast.NodeVisitor):
                 f"counter {name!r} is not in the declared COUNTER_NAMES "
                 "registry (sim/resources.py)",
             )
+
+    #: SIM008 constructor -> (keyword carrying the literal, registry field,
+    #: declaring module hint).  Only string *literals* are checked; a
+    #: variable or f-string argument is the constructor's own __post_init__
+    #: problem, not the linter's.
+    _KIND_CONSTRUCTORS = {
+        "Incident": ("kind", "incident_kinds", "INCIDENT_KINDS (heal/incidents.py)"),
+        "Action": ("kind", "action_kinds", "ACTION_KINDS (heal/incidents.py)"),
+        "Station": ("name", "station_names", "STATION_NAMES (engine/stations.py)"),
+        "Stage": ("station", "station_names", "STATION_NAMES (engine/stations.py)"),
+    }
+
+    def _check_kind_literals(self, node: ast.Call) -> None:
+        """SIM008: closed-taxonomy literals passed to the heal/engine
+        constructors must be declared -- same contract SIM004 enforces for
+        journal events and counters, resolved against the parsed registries."""
+        spec = self._KIND_CONSTRUCTORS.get(_callee_tail(node.func) or "")
+        if spec is None:
+            return
+        keyword, registry_field, declared_in = spec
+        declared = getattr(self.registry, registry_field)
+        if declared is None:
+            return
+        lit = _literal_arg(node, 0, keyword)
+        if lit is None or lit.value in declared:
+            return
+        if registry_field == "station_names" and any(
+            lit.value.startswith(p) for p in self.registry.station_prefixes
+        ):
+            return
+        self._report(
+            lit,
+            "SIM008",
+            f"{keyword} {lit.value!r} is not in the declared taxonomy "
+            f"{declared_in}",
+        )
+
+    def _check_schedule_lambda(self, node: ast.Call) -> None:
+        """SIM009: a lambda handed to ``.schedule(...)`` inside a for loop
+        that reads the loop variable captures it *by reference* -- every
+        queued callback sees the final iteration's value when it fires.
+        The sanctioned fix binds a default: ``lambda t, e=ev: ...``."""
+        if not self._loop_targets:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "schedule"):
+            return
+        live = frozenset().union(*self._loop_targets)
+        values = [*node.args, *(kw.value for kw in node.keywords)]
+        for arg in values:
+            if not isinstance(arg, ast.Lambda):
+                continue
+            a = arg.args
+            params = {p.arg for p in [*a.posonlyargs, *a.args, *a.kwonlyargs]}
+            if a.vararg:
+                params.add(a.vararg.arg)
+            if a.kwarg:
+                params.add(a.kwarg.arg)
+            free = {
+                n.id
+                for n in ast.walk(arg.body)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            captured = sorted((free - params) & live)
+            if captured:
+                names = ", ".join(captured)
+                self._report(
+                    arg,
+                    "SIM009",
+                    f"scheduled lambda captures loop variable(s) {names} by "
+                    "reference; bind with a default argument "
+                    f"(lambda t, {captured[0]}={captured[0]}: ...)",
+                )
 
     def _check_clock_advance(self, node: ast.Call) -> None:
         func = node.func

@@ -1,0 +1,29 @@
+"""simsan: a determinism race detector for the event engine.
+
+Static analysis (simlint) proves the *code* avoids non-deterministic
+constructs; simsan checks the *runs*.  It re-executes a scenario under
+permuted event-queue tie-breaking (``sim.events.tiebreak``) and diffs
+byte-stable state fingerprints -- any divergence means some handler's result
+depends on the order of equal-timestamp events, exactly the hazard the FIFO
+sequence number silently masks.  While scenarios run it also tracks resource
+accesses (double-acquire, negative occupancy, leaked holds) and the
+striped-store write-generation invariant (the PR 8 stale-slot bug class).
+
+Entry point: ``python -m repro sanitize`` (see ``runner.run_sanitize``).
+
+Import discipline: ``runtime`` is a leaf (no ``repro.*`` imports) so
+instrumented modules can import it without cycles; ``runner`` imports the
+whole simulator and must only ever be imported lazily (the CLI does).
+"""
+
+from repro.devtools.simsan.fingerprint import fingerprint, fingerprint_state
+from repro.devtools.simsan.runtime import ACTIVE, Sanitizer, Violation, activate
+
+__all__ = [
+    "ACTIVE",
+    "Sanitizer",
+    "Violation",
+    "activate",
+    "fingerprint",
+    "fingerprint_state",
+]

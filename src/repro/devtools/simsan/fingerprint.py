@@ -1,0 +1,33 @@
+"""Byte-stable state fingerprints for sanitizer comparisons.
+
+A fingerprint is the first 16 hex digits of the sha256 of the canonical JSON
+encoding (sorted keys, compact separators) -- the same construction
+``ChaosReport.fingerprint`` uses, so fingerprints are comparable across
+tools and independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: components every slice fingerprints, in report order
+COMPONENTS = ("result", "counters", "journal_kinds")
+
+
+def fingerprint(doc) -> str:
+    """Canonical-JSON sha256 prefix of any JSON-serialisable document."""
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_state(result_doc, counters: dict, journal_kinds: dict) -> dict:
+    """Fingerprint the three observables the sanitizer diffs across modes:
+    the slice's result JSON, its counter bag, and journal kind-totals."""
+    return {
+        "result": fingerprint(result_doc),
+        "counters": fingerprint({k: counters[k] for k in sorted(counters)}),
+        "journal_kinds": fingerprint(
+            {k: journal_kinds[k] for k in sorted(journal_kinds)}
+        ),
+    }

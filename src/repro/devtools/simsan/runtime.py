@@ -1,0 +1,211 @@
+"""simsan runtime: access tracking + happens-before checks for live runs.
+
+This module is the dynamic half of the determinism contract (the static half
+is simlint).  Instrumented call sites in the simulator -- station submits and
+departs, log-buffer flush begin/end and drains, resource reservations, and
+striped-store write-generation stamping/sealing -- report through the
+module-level :data:`ACTIVE` sanitizer.  When no sanitizer is active (the
+default, and every production run) each hook is a single global load and
+``is None`` test; behaviour and outputs are untouched.
+
+Checks
+------
+``negative_occupancy``   a release/depart with no matching hold, a buffer
+                         drain of more bytes than it holds (the ``max(0, ..)``
+                         clamp in the model would silently mask it), or a
+                         metric counter tally crossing below zero
+``double_acquire``       a second flush begun on a node whose previous flush
+                         has not completed
+``leaked_hold``          holds still open when the event queue drains
+``time_regression``      a station submit at an earlier sim time than a
+                         previous submit on the same station (the engine's
+                         event loop fires in time order, so station arrival
+                         times must be non-decreasing)
+``generation_regression``a striped-store write stamped with a generation that
+                         does not advance the key's live generation
+``stale_apply``          a seal applying a slot whose stamped generation is
+                         not the key's live generation (the PR 8
+                         delete-then-rewrite staleness bug, generalised into
+                         a continuously-checked invariant)
+``future_generation``    a sealed slot stamped *ahead* of the live generation
+                         (a happens-before violation: the stamp must precede
+                         the seal)
+
+IMPORTANT: this module must stay free of ``repro.*`` imports.  The engine,
+core store and sim layers import it for their hooks; importing back into any
+of them would cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One sanitizer finding, in detection order."""
+
+    check: str     # e.g. "negative_occupancy"
+    subject: str   # station / node / resource / key the check fired on
+    detail: str    # human-readable specifics (deterministic text)
+
+    def to_dict(self) -> dict:
+        return {"check": self.check, "subject": self.subject, "detail": self.detail}
+
+
+@dataclass
+class Sanitizer:
+    """Collects access-tracking state and violations for one scenario run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+    _holds: dict[str, int] = field(default_factory=dict)
+    _flushes: dict[str, bool] = field(default_factory=dict)
+    _reserve_now: dict[str, float] = field(default_factory=dict)
+    _counter_floor: dict[str, float] = field(default_factory=dict)
+    _live_gen: dict[str, int] = field(default_factory=dict)
+
+    # -- reporting ---------------------------------------------------------
+    def _flag(self, check: str, subject: str, detail: str) -> None:
+        self.violations.append(Violation(check, subject, detail))
+        self.counts[check] = self.counts.get(check, 0) + 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    # -- station occupancy (engine/stations.py) ----------------------------
+    def on_acquire(self, station: str, now: float) -> None:
+        """A job reserved a station slot (Station.submit)."""
+        last = self._reserve_now.get(station)
+        if last is not None and now < last:
+            self._flag(
+                "time_regression",
+                station,
+                f"submit at t={now:.9f} after one at t={last:.9f}",
+            )
+        if last is None or now > last:
+            self._reserve_now[station] = now
+        self._holds[station] = self._holds.get(station, 0) + 1
+
+    def on_release(self, station: str) -> None:
+        """A job left a station (Station.depart)."""
+        depth = self._holds.get(station, 0)
+        if depth <= 0:
+            self._flag(
+                "negative_occupancy",
+                station,
+                "depart with no outstanding submit (occupancy would go negative)",
+            )
+            return
+        self._holds[station] = depth - 1
+
+    # -- log-buffer flushes (engine/backpressure.py via engine/core.py) ----
+    def on_flush_begin(self, node: str) -> None:
+        if self._flushes.get(node, False):
+            self._flag(
+                "double_acquire",
+                node,
+                "flush begun while a previous flush is still in flight",
+            )
+        self._flushes[node] = True
+
+    def on_flush_end(self, node: str) -> None:
+        self._flushes[node] = False
+
+    def on_buffer_drain(self, node: str, nbytes: int, held: int) -> None:
+        """``nbytes`` drained from a buffer currently holding ``held``."""
+        if nbytes > held:
+            self._flag(
+                "negative_occupancy",
+                node,
+                f"drained {nbytes} bytes from a buffer holding {held}",
+            )
+
+    # -- metric counters (sim/resources.py) --------------------------------
+    def on_counter(self, name: str, value_after: float) -> None:
+        """Counter tallies are occupancy-like: the total must stay >= 0."""
+        if value_after < 0 and value_after - self._counter_floor.get(name, 0.0) < 0:
+            self._counter_floor[name] = value_after
+            self._flag(
+                "negative_occupancy",
+                name,
+                f"counter total went negative ({value_after:g})",
+            )
+
+    # -- write generations (core/striped.py) -------------------------------
+    def on_write_gen(self, key: str, gen: int, live: int) -> None:
+        """A pending write stamped ``gen``; ``live`` was the key's prior gen."""
+        if gen <= live:
+            self._flag(
+                "generation_regression",
+                key,
+                f"write stamped gen {gen} does not advance live gen {live}",
+            )
+        self._live_gen[key] = max(gen, live)
+
+    def on_seal(self, key: str, gen: int | None, live: int | None, applied: bool) -> None:
+        """A seal considered a slot stamped ``gen`` while the key's live
+        generation is ``live``; ``applied`` says it updated the index."""
+        if gen is None or live is None:
+            return
+        if gen > live:
+            self._flag(
+                "future_generation",
+                key,
+                f"sealed slot stamped gen {gen} ahead of live gen {live}",
+            )
+        elif applied and gen != live:
+            self._flag(
+                "stale_apply",
+                key,
+                f"seal applied superseded gen {gen} over live gen {live}",
+            )
+
+    # -- end-of-run --------------------------------------------------------
+    def on_drained(self, context: str) -> None:
+        """The scenario's event queue drained; every hold must be closed."""
+        for station in sorted(self._holds):
+            depth = self._holds[station]
+            if depth > 0:
+                self._flag(
+                    "leaked_hold",
+                    station,
+                    f"{depth} hold(s) still open at {context} drain",
+                )
+        for node in sorted(self._flushes):
+            if self._flushes[node]:
+                self._flag(
+                    "leaked_hold",
+                    node,
+                    f"flush still in flight at {context} drain",
+                )
+
+
+#: the active sanitizer; ``None`` (the default) disables every hook.
+ACTIVE: Sanitizer | None = None
+
+
+class activate:
+    """Context manager installing ``sanitizer`` as :data:`ACTIVE`."""
+
+    def __init__(self, sanitizer: Sanitizer):
+        self._sanitizer = sanitizer
+        self._previous: Sanitizer | None = None
+
+    def __enter__(self) -> Sanitizer:
+        global ACTIVE
+        self._previous = ACTIVE
+        ACTIVE = self._sanitizer
+        return self._sanitizer
+
+    def __exit__(self, *exc) -> None:
+        global ACTIVE
+        ACTIVE = self._previous

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.devtools.simsan import runtime as _san
 from repro.engine.jobs import JobTrace
 from repro.sim.params import HardwareProfile
 
@@ -81,11 +82,29 @@ class LogBufferModel:
     def should_flush(self) -> bool:
         return self.nbytes >= self.flush_threshold_bytes and not self.flush_inflight
 
+    def begin_flush(self) -> None:
+        """Mark a flush in flight; at most one per buffer at a time."""
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_flush_begin(self.node_id)
+        self.flush_inflight = True
+
+    def abort_flush(self) -> None:
+        """A begun flush found nothing to drain; release the in-flight mark."""
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_flush_end(self.node_id)
+        self.flush_inflight = False
+
     def above_high_water(self) -> bool:
         return self.nbytes >= self.high_water_bytes
 
     def drained(self, nbytes: int) -> None:
         """A flush of ``nbytes`` completed."""
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_buffer_drain(self.node_id, nbytes, self.nbytes)
+            san.on_flush_end(self.node_id)
         self.nbytes = max(0, self.nbytes - nbytes)
         self.flush_inflight = False
         self.flushes += 1

@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.chaos.schedule import FaultEvent, FaultKind
+from repro.devtools.simsan import runtime as _san
 from repro.engine.admission import AdmissionConfig, AdmissionGate
 from repro.engine.backpressure import LogBufferModel
 from repro.engine.jobs import JobSpec, JobTrace
@@ -296,7 +297,7 @@ class Engine:
                         # pressure flush: drain now even if the flush
                         # threshold was configured above the high-water mark,
                         # so parked writes are always eventually woken
-                        buf.flush_inflight = True
+                        buf.begin_flush()
                         self._flush(buf, now)
                     return
         self._stage(trace, now)
@@ -380,7 +381,7 @@ class Engine:
     def _maybe_flush(self, buf: LogBufferModel, now: float) -> None:
         if not buf.should_flush():
             return
-        buf.flush_inflight = True
+        buf.begin_flush()
         disk = self._station(f"disk:{buf.node_id}")
         backlog = disk.backlog_s(now)
         over = backlog - self.profile.max_disk_backlog_s
@@ -396,7 +397,7 @@ class Engine:
     def _flush(self, buf: LogBufferModel, now: float) -> None:
         nbytes = buf.nbytes
         if nbytes <= 0:
-            buf.flush_inflight = False
+            buf.abort_flush()
             return
         disk = self._station(f"disk:{buf.node_id}")
         service = (
@@ -491,6 +492,9 @@ class Engine:
             now = self.queue.next_time()
             self.clock.advance_to(now)
             self.queue.run_until(now)
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_drained("engine")
         makespan = self._last_completion_s
         if self.sampler is not None:
             self.sampler.finish(self.clock.now)

@@ -22,7 +22,18 @@ service: no separate queue structure is needed, and the completion time each
 
 from __future__ import annotations
 
+from repro.devtools.simsan import runtime as _san
 from repro.sim.resources import Resource
+
+#: The declared station-name registry.  Every *literal* station name passed
+#: to ``Station(...)`` / ``Stage(...)`` anywhere in the tree must appear here
+#: or match a prefix below -- enforced statically by simlint rule SIM008,
+#: which parses these assignments out of the module source (the same
+#: mechanism SIM004 uses for event kinds and counter names).
+STATION_NAMES = frozenset({"delay", "proxy_cpu", "proxy_nic"})
+
+#: Per-node station families (name built with an f-string at runtime).
+STATION_PREFIXES = ("disk:", "nic:")
 
 
 class Station:
@@ -61,6 +72,9 @@ class Station:
         ready = max(now, self.stall_until)
         wait = max(0.0, max(ready, self.resource.free_at) - now)
         done = self.resource.reserve(ready, service)
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_acquire(self.name, now)
         self.pending += 1
         if self.pending > self.max_pending:
             self.max_pending = self.pending
@@ -70,6 +84,9 @@ class Station:
         return wait, done
 
     def depart(self) -> None:
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_release(self.name)
         self.pending -= 1
 
     # ------------------------------------------------------------ fault hooks

@@ -74,6 +74,13 @@ EVENT_KINDS = frozenset(
         # these as slo_burn incidents
         "telemetry_slo_burn",
         "telemetry_slo_ok",
+        # determinism sanitizer (repro.devtools.simsan): one event per
+        # slice/fixture comparison plus one per order-sensitivity hazard and
+        # per runtime access violation, journaled into the sanitize report
+        "sanitize_slice",
+        "sanitize_fixture",
+        "sanitize_hazard",
+        "sanitize_violation",
     }
 )
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.devtools.simsan import runtime as _san
+
 #: The declared counter registry.  Every *literal* counter name passed to
 #: :meth:`Counters.add` anywhere in the tree must appear here (or match a
 #: prefix below) -- enforced statically by simlint rule SIM004, which parses
@@ -82,6 +84,11 @@ COUNTER_NAMES = frozenset(
         "parity_deltas_sent",
         "parity_deltas_skipped",
         "proxy_failovers",
+        # determinism sanitizer (repro.devtools.simsan): comparisons run,
+        # fingerprint components that diverged, runtime checks that fired
+        "sanitize_runs",
+        "sanitize_hazards",
+        "sanitize_violations",
         "stripes_sealed",
         # sim-time telemetry (repro.obs.timeseries)
         "telemetry_samples",
@@ -144,6 +151,9 @@ class Counters:
 
     def add(self, name: str, amount: float = 1.0) -> None:
         self._values[name] += amount
+        san = _san.ACTIVE
+        if san is not None:
+            san.on_counter(name, self._values[name])
 
     def get(self, name: str) -> float:
         return self._values.get(name, 0.0)

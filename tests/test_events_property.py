@@ -3,12 +3,19 @@
 The concurrent engine leans on three EventQueue guarantees: global time
 order, FIFO tie-breaking by schedule order, and well-defined behaviour when
 callbacks schedule more work (including at times at or before ``now``).
+simsan adds a fourth: permuting the tie-break (reversed, seeded shuffle)
+reorders *only* equal-timestamp events, so any scenario whose state does not
+encode tie order fingerprints byte-identically across modes.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.events import EventQueue
+from repro.devtools.simsan.fingerprint import fingerprint_state
+from repro.sim.events import TIEBREAK_MODES, EventQueue, TieBreak, tiebreak
+
+modes = st.sampled_from(TIEBREAK_MODES)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
 
 times = st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
                   allow_infinity=False)
@@ -86,3 +93,82 @@ def test_clear_discards_pending():
     q.clear()
     assert len(q) == 0
     assert q.next_time() is None
+
+
+# ------------------------------------------------------- tie-break permutation
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(times, max_size=60), modes, seeds)
+def test_permuted_ties_still_fire_in_time_order(when, mode, seed):
+    """Every tie-break mode preserves global time order and fires each event
+    exactly once -- only the order *within* an equal-timestamp group moves."""
+    with tiebreak(mode, seed):
+        q = EventQueue()
+        log: list[tuple[float, int]] = []
+        for i, t in enumerate(when):
+            q.schedule(t, _record(log, i))
+        assert q.drain() == len(when)
+    assert [t for t, _ in log] == sorted(when)
+    assert sorted(tag for _, tag in log) == list(range(len(when)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(times, max_size=40), seeds)
+def test_order_robust_state_fingerprints_identically_across_modes(when, seed):
+    """The simsan premise: a scenario whose result does not depend on tie
+    order (here: per-tag firing times, key-sorted) produces byte-identical
+    state fingerprints under FIFO, reversed and shuffled tie-breaking."""
+    fps = []
+    for mode in TIEBREAK_MODES:
+        with tiebreak(mode, seed):
+            q = EventQueue()
+            fired: dict[str, float] = {}
+            counters: dict[str, float] = {"fired": 0.0}
+
+            def record(tag):
+                def cb(t, tag=tag):
+                    fired[tag] = t
+                    counters["fired"] += 1.0
+                return cb
+
+            for i, t in enumerate(when):
+                q.schedule(t, record(f"ev{i}"))
+            q.drain()
+        fps.append(fingerprint_state(fired, counters, {"tick": len(when)}))
+    assert fps[0] == fps[1] == fps[2]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(times, min_size=1, max_size=20), modes, seeds)
+def test_reentrancy_contract_holds_under_every_mode(when, mode, seed):
+    """The run_until re-entrancy contract (work scheduled at t <= now fires
+    in the same pass) is mode-independent."""
+    with tiebreak(mode, seed):
+        q = EventQueue()
+        log: list[str] = []
+
+        def chained(t: float) -> None:
+            log.append("parent")
+            q.schedule(t, lambda _t: log.append("child"))
+
+        for t in when:
+            q.schedule(t, chained)
+        fired = q.run_until(max(when))
+    assert fired == 2 * len(when)
+    assert log.count("child") == len(when)
+    assert len(q) == 0
+
+
+def test_queue_captures_tiebreak_at_construction():
+    """An EventQueue snapshots the ambient mode: changing it afterwards does
+    not reorder events already managed by the queue."""
+    with tiebreak("reversed"):
+        q = EventQueue()
+    assert q._tie == TieBreak("reversed", 0)
+    order: list[str] = []
+    q.schedule(1.0, lambda t: order.append("first-scheduled"))
+    q.schedule(1.0, lambda t: order.append("second-scheduled"))
+    with tiebreak("fifo"):
+        q.drain()
+    assert order == ["second-scheduled", "first-scheduled"]

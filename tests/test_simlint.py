@@ -19,6 +19,7 @@ from repro.devtools.simlint import (
     load_baseline,
     load_registry,
     run_rules,
+    stale_baseline_ids,
     write_baseline,
 )
 from repro.devtools.simlint.engine import lint_file
@@ -33,6 +34,10 @@ REGISTRY = Registry(
     event_kinds=frozenset({"log_flush", "repair_done"}),
     counter_names=frozenset({"net_rpcs"}),
     counter_prefixes=("events_",),
+    incident_kinds=frozenset({"node_crash", "disk_stall"}),
+    action_kinds=frozenset({"repair_node", "observe"}),
+    station_names=frozenset({"delay", "proxy_cpu"}),
+    station_prefixes=("disk:", "nic:"),
 )
 
 
@@ -188,6 +193,89 @@ def test_sim006_defaults_and_field_default():
     assert rules_of(lint_source(src)) == ["SIM006"] * 4
 
 
+def test_sim007_accumulation_over_known_set_var():
+    src = """\
+        def f(xs):
+            weights = set(xs)
+            total = 0.0
+            for w in weights:
+                total += w
+            return total + sum(v for v in weights) + sum(weights)
+        """
+    assert rules_of(lint_source(src)) == ["SIM007"] * 3
+
+
+def test_sim007_ordered_or_unproven_iterables_are_clean():
+    src = """\
+        def f(xs, mystery):
+            weights = sorted(set(xs))
+            total = 0.0
+            for w in weights:
+                total += w
+            for m in mystery:        # type unknown: never guessed
+                total += m
+            return total + sum(weights)
+        """
+    assert lint_source(src) == []
+
+
+def test_sim007_nested_set_loops_report_each_accumulation_once():
+    src = """\
+        def f(xs, ys):
+            a = set(xs)
+            b = set(ys)
+            total = 0.0
+            for x in a:
+                for y in b:
+                    total += x * y
+        """
+    assert rules_of(lint_source(src)) == ["SIM007"]
+
+
+def test_sim008_constructor_literals_checked_against_taxonomies():
+    src = """\
+        def f(Incident, Action, Station, Stage):
+            Incident(kind="node_crash", node_id="n0")     # declared
+            Incident(kind="gremlin", node_id="n0")        # not declared
+            Action("observe", node_id="n0")               # declared
+            Action("reboot_universe", node_id="n0")       # not declared
+            Station("proxy_cpu")                          # declared
+            Station(name="warp_core")                     # not declared
+            Stage("disk:l0", 1e-4)                        # prefix family
+            Stage("teleporter", 1e-4)                     # not declared
+            Stage(kind_var, 1e-4)                         # non-literal: skipped
+        """
+    assert rules_of(lint_source(src)) == ["SIM008"] * 4
+
+
+def test_sim008_skipped_without_registry():
+    config = LintConfig(root=Path("."))
+    src = 'def f(Incident):\n    Incident(kind="anything")\n'
+    assert run_rules("m.py", src, config, Registry()) == []
+
+
+def test_sim009_scheduled_lambda_capturing_loop_var():
+    src = """\
+        def f(queue, events):
+            for ev in events:
+                queue.schedule(0.1, lambda t: ev.fire(t))
+            for a, b in pairs:
+                queue.schedule(0.2, callback=lambda t: handle(a, b))
+        """
+    assert rules_of(lint_source(src)) == ["SIM009"] * 2
+
+
+def test_sim009_default_bound_lambda_is_the_sanctioned_form():
+    src = """\
+        def f(queue, events, fixed):
+            for ev in events:
+                queue.schedule(0.1, lambda t, e=ev: e.fire(t))
+                queue.schedule(0.1, lambda t: handle(fixed))
+            queue.schedule(0.2, lambda t: handle(ev_like))
+        """
+    assert lint_source(src) == []
+
+
 # ------------------------------------------------- suppressions and baseline
 
 
@@ -249,12 +337,33 @@ def test_identical_lines_get_distinct_stable_ids():
 
 
 def test_registry_extraction_matches_runtime_declarations():
+    from repro.engine.stations import STATION_NAMES, STATION_PREFIXES
+    from repro.heal.incidents import ACTION_KINDS, INCIDENT_KINDS
+
     reg = load_registry(
-        REPO_ROOT, "src/repro/obs/events.py", "src/repro/sim/resources.py"
+        REPO_ROOT,
+        "src/repro/obs/events.py",
+        "src/repro/sim/resources.py",
+        incidents_module="src/repro/heal/incidents.py",
+        stations_module="src/repro/engine/stations.py",
     )
     assert reg.event_kinds == EVENT_KINDS
     assert reg.counter_names == COUNTER_NAMES
     assert reg.counter_prefixes == COUNTER_PREFIXES
+    assert reg.incident_kinds == frozenset(INCIDENT_KINDS)
+    assert reg.action_kinds == frozenset(ACTION_KINDS)
+    assert reg.station_names == STATION_NAMES
+    assert reg.station_prefixes == STATION_PREFIXES
+
+
+def test_registry_missing_optional_modules_disable_their_checks():
+    reg = load_registry(
+        REPO_ROOT, "src/repro/obs/events.py", "src/repro/sim/resources.py"
+    )
+    assert reg.incident_kinds is None
+    assert reg.action_kinds is None
+    assert reg.station_names is None
+    assert reg.station_prefixes == ()
 
 
 # --------------------------------------------------------------- whole tree
@@ -281,7 +390,7 @@ def test_all_rules_fixture_fails_and_covers_every_rule():
     assert proc.returncode == 1
     doc = json.loads(proc.stdout)
     fired = {f["rule"] for f in doc["findings"]}
-    assert fired == {f"SIM00{i}" for i in range(1, 7)}
+    assert fired == {f"SIM00{i}" for i in range(1, 10)}
 
 
 @pytest.mark.parametrize("fmt", ["text", "json"])
@@ -291,6 +400,34 @@ def test_output_byte_identical_across_runs_and_hash_seeds(fmt):
         for seed in (0, 42, 0)
     }
     assert len(outs) == 1
+
+
+def test_check_baseline_flags_stale_ids(tmp_path):
+    root = _fixture_tree(tmp_path)
+    config = LintConfig(root=root)
+    result = lint_paths(None, config)
+    baseline = root / "simlint-baseline.json"
+    write_baseline(baseline, result)
+
+    assert stale_baseline_ids(result, load_baseline(baseline)) == []
+    stale = stale_baseline_ids(result, frozenset({"deadbeefdead"}))
+    assert stale == ["deadbeefdead"]
+
+
+def test_cli_check_baseline_passes_clean_and_fails_stale(tmp_path):
+    proc = _run_lint_cli(["--check-baseline"])
+    assert proc.returncode == 0, proc.stdout.decode() + proc.stderr.decode()
+    assert b"baseline ok" in proc.stdout
+
+    root = _fixture_tree(tmp_path)
+    result = lint_paths(None, LintConfig(root=root))
+    real_ids = [f.finding_id for f in result.findings]
+    (root / "simlint-baseline.json").write_text(
+        json.dumps({"version": 1, "ids": [*real_ids, "deadbeefdead"]})
+    )
+    proc = _run_lint_cli(["--check-baseline", "src"], cwd=root)
+    assert proc.returncode == 1
+    assert b"stale baseline id deadbeefdead" in proc.stdout
 
 
 def test_exit_code_2_on_missing_path_and_syntax_error(tmp_path):

@@ -1,0 +1,281 @@
+"""Tests for the simsan determinism sanitizer (repro.devtools.simsan).
+
+Covers the runtime access checks (each positive *and* its clean negative),
+the fingerprint primitive, mode comparison on clean vs order-sensitive
+scenarios, the planted fixtures under ``tests/testdata/simsan/``, and the
+``python -m repro sanitize`` front end's exit-code contract.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.simsan import runner, runtime
+from repro.devtools.simsan.fingerprint import COMPONENTS, fingerprint, fingerprint_state
+from repro.sim.events import EventQueue
+
+FIXTURES = Path(__file__).parent / "testdata" / "simsan"
+
+
+def _run_cli(argv):
+    lines: list[str] = []
+    rc = main(argv, out=lambda text: lines.append(str(text)))
+    return rc, "\n".join(lines)
+
+
+# --------------------------------------------------------------- runtime checks
+
+
+def test_station_balanced_holds_are_clean():
+    san = runtime.Sanitizer()
+    san.on_acquire("proxy_cpu", 0.0)
+    san.on_acquire("proxy_cpu", 1e-4)
+    san.on_release("proxy_cpu")
+    san.on_release("proxy_cpu")
+    san.on_drained("test")
+    assert san.ok
+
+
+def test_release_without_hold_flags_negative_occupancy():
+    san = runtime.Sanitizer()
+    san.on_release("proxy_cpu")
+    assert [v.check for v in san.violations] == ["negative_occupancy"]
+
+
+def test_submit_time_regression_flags():
+    san = runtime.Sanitizer()
+    san.on_acquire("delay", 2e-3)
+    san.on_acquire("delay", 1e-3)  # earlier than the previous submit
+    assert [v.check for v in san.violations] == ["time_regression"]
+    # equal times are fine (that is exactly what tie-breaking is for)
+    san2 = runtime.Sanitizer()
+    san2.on_acquire("delay", 1e-3)
+    san2.on_acquire("delay", 1e-3)
+    assert san2.ok
+
+
+def test_double_flush_flags_and_sequential_flushes_do_not():
+    san = runtime.Sanitizer()
+    san.on_flush_begin("l0")
+    san.on_flush_end("l0")
+    san.on_flush_begin("l0")
+    assert san.ok
+    san.on_flush_begin("l0")
+    assert [v.check for v in san.violations] == ["double_acquire"]
+
+
+def test_buffer_overdrain_flags():
+    san = runtime.Sanitizer()
+    san.on_buffer_drain("l0", 4096, 4096)
+    assert san.ok
+    san.on_buffer_drain("l0", 4096, 1024)
+    assert [v.check for v in san.violations] == ["negative_occupancy"]
+
+
+def test_negative_counter_total_flags_once_per_floor():
+    san = runtime.Sanitizer()
+    san.on_counter("net_bytes", 10.0)
+    san.on_counter("net_bytes", -5.0)
+    san.on_counter("net_bytes", -5.0)  # no deeper: not re-flagged
+    san.on_counter("net_bytes", -8.0)  # deeper: flagged again
+    assert [v.check for v in san.violations] == ["negative_occupancy"] * 2
+
+
+def test_generation_checks():
+    san = runtime.Sanitizer()
+    san.on_write_gen("k", 1, 0)
+    san.on_write_gen("k", 2, 1)
+    san.on_seal("k", 2, 2, applied=True)   # live seal: clean
+    san.on_seal("k", 1, 2, applied=False)  # skipped stale slot: clean
+    assert san.ok
+    san.on_write_gen("k", 2, 2)            # stamp does not advance
+    san.on_seal("k", 1, 2, applied=True)   # stale slot applied
+    san.on_seal("k", 9, 2, applied=False)  # seal ahead of any stamp
+    assert [v.check for v in san.violations] == [
+        "generation_regression",
+        "stale_apply",
+        "future_generation",
+    ]
+
+
+def test_leaked_hold_reported_at_drain():
+    san = runtime.Sanitizer()
+    san.on_acquire("proxy_nic", 0.0)
+    san.on_flush_begin("l1")
+    san.on_drained("test")
+    assert sorted(v.check for v in san.violations) == ["leaked_hold", "leaked_hold"]
+    assert {v.subject for v in san.violations} == {"proxy_nic", "l1"}
+
+
+def test_activate_restores_previous_sanitizer():
+    assert runtime.ACTIVE is None
+    outer = runtime.Sanitizer()
+    with runtime.activate(outer):
+        assert runtime.ACTIVE is outer
+        with runtime.activate(runtime.Sanitizer()):
+            assert runtime.ACTIVE is not outer
+        assert runtime.ACTIVE is outer
+    assert runtime.ACTIVE is None
+
+
+# ----------------------------------------------------------------- fingerprints
+
+
+def test_fingerprint_is_order_insensitive_in_keys_only():
+    a = fingerprint({"x": 1, "y": 2})
+    b = fingerprint({"y": 2, "x": 1})
+    assert a == b
+    assert a != fingerprint({"x": 1, "y": 3})
+    assert len(a) == 16
+
+
+def test_fingerprint_state_components():
+    fps = fingerprint_state({"r": 1}, {"c": 2.0}, {"k": 3})
+    assert tuple(sorted(fps)) == tuple(sorted(COMPONENTS))
+
+
+# ---------------------------------------------------------------- compare_modes
+
+
+def test_compare_modes_clean_scenario_is_ok():
+    def build(mode):
+        q = EventQueue()
+        seen = {}
+        for tag in ("a", "b", "c"):
+            q.schedule(1e-3, lambda t, tag=tag: seen.__setitem__(tag, t))
+        q.drain()
+        return {"seen": dict(sorted(seen.items()))}
+
+    outcome = runner.compare_modes(build)
+    assert outcome["ok"]
+    assert outcome["order_sensitive"] == []
+    fps = outcome["fingerprints"]
+    assert len({fps[m]["result"] for m in runner.MODES}) == 1
+
+
+def test_compare_modes_flags_order_sensitive_result():
+    def build(mode):
+        q = EventQueue()
+        order = []
+        q.schedule(1e-3, lambda t: order.append("a"))
+        q.schedule(1e-3, lambda t: order.append("b"))
+        q.drain()
+        return {"order": order}
+
+    outcome = runner.compare_modes(build)
+    assert not outcome["ok"]
+    assert outcome["order_sensitive"] == ["result"]
+
+
+def test_compare_modes_surfaces_runtime_violations():
+    def build(mode):
+        san = runtime.ACTIVE
+        san.on_release("proxy_cpu")
+        return {"constant": True}
+
+    outcome = runner.compare_modes(build)
+    assert not outcome["ok"]
+    assert outcome["order_sensitive"] == []  # fingerprints agree; checks fired
+    for mode in runner.MODES:
+        assert outcome["sanitizer"][mode]["counts"] == {"negative_occupancy": 1}
+
+
+# --------------------------------------------------------------------- fixtures
+
+
+@pytest.mark.parametrize(
+    "name,expect",
+    [
+        ("tie_ambiguity.py", "order_sensitive"),
+        ("double_acquire.py", "violations"),
+        ("stale_generation.py", "violations"),
+    ],
+)
+def test_planted_fixtures_flag(name, expect):
+    outcome = runner.run_fixture(FIXTURES / name)
+    assert not outcome["ok"]
+    if expect == "order_sensitive":
+        assert "result" in outcome["order_sensitive"]
+    else:
+        assert outcome["order_sensitive"] == []
+        assert any(
+            outcome["sanitizer"][m]["violations"] for m in runner.MODES
+        )
+
+
+def test_stale_generation_fixture_reports_stale_apply():
+    outcome = runner.run_fixture(FIXTURES / "stale_generation.py")
+    checks = {
+        v["check"]
+        for m in runner.MODES
+        for v in outcome["sanitizer"][m]["violations"]
+    }
+    assert checks == {"stale_apply"}
+
+
+# ------------------------------------------------------------------- run + CLI
+
+
+def test_run_sanitize_report_shape_and_determinism():
+    fixture = str(FIXTURES / "tie_ambiguity.py")
+    r1 = runner.run_sanitize(slices=(), fixtures=(fixture,))
+    r2 = runner.run_sanitize(slices=(), fixtures=(fixture,))
+    assert runner.render_json(r1) == runner.render_json(r2)
+    assert not r1["ok"]
+    assert r1["counters"]["sanitize_runs"] == 1.0
+    assert r1["counters"]["sanitize_hazards"] >= 1.0
+    assert r1["journal_kinds"]["sanitize_fixture"] == 1
+    assert r1["journal_kinds"]["sanitize_hazard"] == 1
+
+
+def test_run_sanitize_rejects_unknown_slice():
+    with pytest.raises(ValueError, match="unknown slice"):
+        runner.run_sanitize(slices=("warp",))
+
+
+def test_cli_sanitize_engine_slice_clean():
+    rc, out = _run_cli(
+        ["sanitize", "--slices", "engine", "--objects", "40", "--requests", "40"]
+    )
+    assert rc == 0
+    assert "result: clean" in out
+    assert "slice engine: ok" in out
+
+
+def test_cli_sanitize_flags_each_planted_fixture():
+    for name in ("tie_ambiguity.py", "double_acquire.py", "stale_generation.py"):
+        with pytest.raises(SystemExit) as exc:
+            _run_cli(["sanitize", "--fixtures-only",
+                      "--fixture", str(FIXTURES / name)])
+        assert exc.value.code == 1
+
+
+def test_cli_sanitize_writes_json_report(tmp_path):
+    out_path = tmp_path / "sanitize.json"
+    rc, out = _run_cli(
+        ["sanitize", "--slices", "engine", "--objects", "40",
+         "--requests", "40", "--json", "--out", str(out_path)]
+    )
+    assert rc == 0
+    doc = out_path.read_text()
+    assert '"ok": true' in doc
+    assert doc.rstrip("\n") == out.rstrip("\n")
+
+
+def test_sanitizer_off_leaves_outputs_untouched():
+    """With no sanitizer active the hooks are no-ops: an engine run produces
+    byte-identical results whether or not simsan was ever imported."""
+    from repro.engine.core import Engine, EngineConfig
+    from repro.engine.load import build_jobs
+
+    def run_once():
+        jobs, profile, _dram, _log = build_jobs(n_objects=40, n_requests=40, seed=7)
+        return Engine(jobs, profile, EngineConfig(concurrency=4)).run().to_dict()
+
+    assert runtime.ACTIVE is None
+    first = run_once()
+    san = runtime.Sanitizer()
+    with runtime.activate(san):
+        run_once()
+    assert run_once() == first  # post-sanitize runs unchanged too

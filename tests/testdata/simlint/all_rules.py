@@ -45,3 +45,23 @@ def sim006_mutable_default(batch=[]):
 @dataclass
 class Sim006Record:
     tags: list = field(default=[])
+
+
+def sim007_set_accumulation():
+    weights = {0.1, 0.2, 0.7}
+    total = 0.0
+    for w in weights:
+        total += w
+    return total + sum(x * 2 for x in weights)
+
+
+def sim008_unknown_taxonomy_literals(Incident, Action, Station, Stage):
+    Incident(kind="gremlin", node_id="dram0", detected_s=0.0, seq=0)
+    Action("reboot_universe", node_id="dram0", seq=0)
+    Station("warp_core")
+    Stage("teleporter", 1e-4)
+
+
+def sim009_lambda_captures_loop_var(queue, events):
+    for ev in events:
+        queue.schedule(0.1, lambda t: ev.fire(t))

@@ -1,0 +1,30 @@
+"""Planted simsan fixture: unbalanced acquire/release on real engine objects.
+
+Drives the instrumented objects the way a buggy scheduler would:
+
+* a :class:`Station` departs twice for a single submit, so live queue depth
+  crosses below zero (``negative_occupancy``);
+* a :class:`LogBufferModel` begins a second flush while one is already in
+  flight (``double_acquire``) -- the overlapping-drain bug the
+  ``flush_inflight`` latch exists to prevent.
+
+The returned document is constant, so the fixture flags purely through
+runtime sanitizer violations, not fingerprint divergence.
+"""
+
+from repro.engine.backpressure import LogBufferModel
+from repro.engine.stations import Station
+from repro.sim.params import HardwareProfile
+
+
+def scenario():
+    st = Station("proxy_cpu")
+    st.submit(0.0, 1e-4)
+    st.depart()
+    st.depart()  # one submit, two departs: occupancy goes negative
+
+    buf = LogBufferModel("l0", HardwareProfile())
+    buf.append(4096)
+    buf.begin_flush()
+    buf.begin_flush()  # second flush begun while the first is in flight
+    return {"pending": st.pending, "inflight": buf.flush_inflight}

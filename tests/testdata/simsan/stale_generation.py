@@ -1,0 +1,21 @@
+"""Planted simsan fixture: the PR 8 stale-slot bug, replayed against the
+generation checker.
+
+A buggy store writes generation 1 and then generation 2 of the same key, but
+seals (applies) the *superseded* generation 1 -- exactly the stale coalescing
+slot that once leaked old bytes into a sealed stripe.  The fixture drives
+the sanitizer's happens-before hooks the way ``core/striped.py`` does, so
+simsan must report a ``stale_apply`` violation.  The returned document is
+constant; the fixture flags purely through the runtime check.
+"""
+
+from repro.devtools.simsan import runtime
+
+
+def scenario():
+    san = runtime.ACTIVE
+    # key "obj7" advances to gen 2, then the seal applies gen 1 anyway
+    san.on_write_gen("obj7", 1, 0)
+    san.on_write_gen("obj7", 2, 1)
+    san.on_seal("obj7", 1, 2, applied=True)
+    return {"sealed": "obj7", "generation": 1}

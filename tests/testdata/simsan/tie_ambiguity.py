@@ -1,0 +1,21 @@
+"""Planted simsan fixture: a result that depends on equal-timestamp order.
+
+Two callbacks are scheduled at the same simulated instant and each appends
+its tag to a shared list.  Under FIFO tie-breaking the order is
+``["a", "b"]``; under reversed or shuffled tie-breaking it flips -- so the
+result fingerprint diverges across modes and simsan must flag the scenario
+as order-sensitive.  This is the distilled shape of a handler whose output
+silently encodes the tie order the default sequence number masks.
+"""
+
+from repro.sim.events import EventQueue
+
+
+def scenario():
+    queue = EventQueue()  # captures the ambient tie-break mode
+    order = []
+    queue.schedule(1e-3, lambda t: order.append("a"))
+    queue.schedule(1e-3, lambda t: order.append("b"))
+    while len(queue):
+        queue.run_until(queue.next_time())
+    return {"order": order}
